@@ -1,0 +1,270 @@
+// Command htree builds, queries and inspects hybrid tree index files on
+// disk.
+//
+//	htree build  -db idx.ht -dim 16 -csv vectors.csv     # rid,v0,v1,...
+//	htree build  -db idx.ht -dim 64 -dataset colhist -n 70000
+//	htree knn    -db idx.ht -dim 64 -point 0.1,0.2,...  -k 10 -metric L1
+//	htree range  -db idx.ht -dim 64 -point ...          -radius 0.3
+//	htree box    -db idx.ht -dim 64 -lo 0,0,...  -hi 0.5,0.5,...
+//	htree explain -db idx.ht -dim 64 -lo ... -hi ...   # per-level pruning
+//	htree stats  -db idx.ht -dim 64
+//	htree verify -db idx.ht -dim 64
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hybridtree/internal/core"
+	"hybridtree/internal/dataset"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		db       = fs.String("db", "", "index file path (required)")
+		dim      = fs.Int("dim", 0, "dimensionality (required)")
+		pageSize = fs.Int("page", pagefile.DefaultPageSize, "page size in bytes")
+		csvPath  = fs.String("csv", "", "build: CSV file of rid,v0,v1,... rows")
+		dsName   = fs.String("dataset", "", "build: synthetic dataset (colhist or fourier)")
+		n        = fs.Int("n", 10000, "build: synthetic dataset size")
+		bulk     = fs.Bool("bulk", false, "build: bulk load instead of incremental insertion")
+		seed     = fs.Int64("seed", 1, "build: synthetic dataset seed")
+		point    = fs.String("point", "", "query point, comma separated")
+		loStr    = fs.String("lo", "", "box query lower corner")
+		hiStr    = fs.String("hi", "", "box query upper corner")
+		k        = fs.Int("k", 10, "knn: number of neighbors")
+		radius   = fs.Float64("radius", 0.1, "range: query radius")
+		metric   = fs.String("metric", "L2", "distance metric: L1, L2, Linf, or Lp:<p>")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *db == "" || *dim == 0 {
+		fatal("-db and -dim are required")
+	}
+
+	switch cmd {
+	case "build":
+		build(*db, *dim, *pageSize, *csvPath, *dsName, *n, *seed, *bulk)
+	case "knn", "range", "box", "explain", "stats", "verify":
+		file, err := openDisk(*db, *pageSize)
+		check(err)
+		defer file.Close()
+		tree, err := core.Open(file, core.Config{Dim: *dim, PageSize: *pageSize})
+		check(err)
+		switch cmd {
+		case "knn":
+			runKNN(tree, parsePoint(*point, *dim), *k, parseMetric(*metric))
+		case "range":
+			runRange(tree, parsePoint(*point, *dim), *radius, parseMetric(*metric))
+		case "box":
+			runBox(tree, parsePoint(*loStr, *dim), parsePoint(*hiStr, *dim))
+		case "explain":
+			runExplain(tree, parsePoint(*loStr, *dim), parsePoint(*hiStr, *dim))
+		case "stats":
+			runStats(tree, file)
+		case "verify":
+			check(tree.CheckInvariants())
+			fmt.Printf("ok: %d entries, height %d, invariants hold\n", tree.Size(), tree.Height())
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: htree {build|knn|range|box|explain|stats|verify} -db FILE -dim D [flags]")
+	os.Exit(2)
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "htree:", msg)
+	os.Exit(1)
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err.Error())
+	}
+}
+
+func openDisk(path string, pageSize int) (*pagefile.DiskFile, error) {
+	return pagefile.OpenDiskFile(path, pageSize)
+}
+
+func build(db string, dim, pageSize int, csvPath, dsName string, n int, seed int64, bulk bool) {
+	file, err := pagefile.CreateDiskFile(db, pageSize)
+	check(err)
+	defer file.Close()
+
+	start := time.Now()
+	count := 0
+	var tree *core.Tree
+	var bulkPts []geom.Point
+	var bulkRids []core.RecordID
+	if !bulk {
+		tree, err = core.New(file, core.Config{Dim: dim, PageSize: pageSize})
+		check(err)
+	}
+	insert := func(p geom.Point, rid core.RecordID) {
+		if bulk {
+			bulkPts = append(bulkPts, p)
+			bulkRids = append(bulkRids, rid)
+		} else {
+			check(tree.Insert(p, rid))
+		}
+		count++
+	}
+	switch {
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		check(err)
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			parts := strings.Split(text, ",")
+			if len(parts) != dim+1 {
+				fatal(fmt.Sprintf("line %d: want rid plus %d coords, got %d fields", line, dim, len(parts)))
+			}
+			rid, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 64)
+			check(err)
+			p := make(geom.Point, dim)
+			for d := 0; d < dim; d++ {
+				v, err := strconv.ParseFloat(strings.TrimSpace(parts[d+1]), 32)
+				check(err)
+				p[d] = float32(v)
+			}
+			insert(p, core.RecordID(rid))
+		}
+		check(sc.Err())
+	case dsName == "colhist":
+		for i, p := range dataset.ColHist(n, dim, seed) {
+			insert(p, core.RecordID(i))
+		}
+	case dsName == "fourier":
+		for i, p := range dataset.Fourier(n, dim, seed) {
+			insert(p, core.RecordID(i))
+		}
+	default:
+		fatal("build needs -csv or -dataset {colhist|fourier}")
+	}
+	if bulk {
+		tree, err = core.BulkLoad(file, core.Config{Dim: dim, PageSize: pageSize}, bulkPts, bulkRids)
+		check(err)
+	}
+	check(tree.Close())
+	fmt.Printf("built %s: %d entries, height %d, %d pages, %v\n",
+		db, count, tree.Height(), file.NumPages(), time.Since(start).Round(time.Millisecond))
+}
+
+func parsePoint(s string, dim int) geom.Point {
+	if s == "" {
+		fatal("missing point (use -point/-lo/-hi v0,v1,...)")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != dim {
+		fatal(fmt.Sprintf("point has %d coords, index dim is %d", len(parts), dim))
+	}
+	p := make(geom.Point, dim)
+	for d, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 32)
+		check(err)
+		p[d] = float32(v)
+	}
+	return p
+}
+
+func parseMetric(s string) dist.Metric {
+	switch strings.ToUpper(s) {
+	case "L1":
+		return dist.L1()
+	case "L2":
+		return dist.L2()
+	case "LINF":
+		return dist.Linf()
+	}
+	if strings.HasPrefix(strings.ToUpper(s), "LP:") {
+		p, err := strconv.ParseFloat(s[3:], 64)
+		check(err)
+		return dist.LpMetric{P: p}
+	}
+	fatal("unknown metric " + s)
+	return nil
+}
+
+func runKNN(tree *core.Tree, q geom.Point, k int, m dist.Metric) {
+	stats := tree.File().Stats()
+	stats.Reset()
+	start := time.Now()
+	ns, err := tree.SearchKNN(q, k, m)
+	check(err)
+	for i, nb := range ns {
+		fmt.Printf("%2d. rid=%d dist=%.6f\n", i+1, nb.RID, nb.Dist)
+	}
+	fmt.Printf("(%d page reads, %v)\n", stats.Reads(), time.Since(start).Round(time.Microsecond))
+}
+
+func runRange(tree *core.Tree, q geom.Point, radius float64, m dist.Metric) {
+	stats := tree.File().Stats()
+	stats.Reset()
+	start := time.Now()
+	ns, err := tree.SearchRange(q, radius, m)
+	check(err)
+	for _, nb := range ns {
+		fmt.Printf("rid=%d dist=%.6f\n", nb.RID, nb.Dist)
+	}
+	fmt.Printf("(%d results, %d page reads, %v)\n", len(ns), stats.Reads(), time.Since(start).Round(time.Microsecond))
+}
+
+func runBox(tree *core.Tree, lo, hi geom.Point) {
+	stats := tree.File().Stats()
+	stats.Reset()
+	start := time.Now()
+	es, err := tree.SearchBox(geom.NewRect(lo, hi))
+	check(err)
+	for _, e := range es {
+		fmt.Printf("rid=%d\n", e.RID)
+	}
+	fmt.Printf("(%d results, %d page reads, %v)\n", len(es), stats.Reads(), time.Since(start).Round(time.Microsecond))
+}
+
+func runExplain(tree *core.Tree, lo, hi geom.Point) {
+	_, ex, err := tree.ExplainBox(geom.NewRect(lo, hi))
+	check(err)
+	fmt.Print(ex.String())
+}
+
+func runStats(tree *core.Tree, file pagefile.File) {
+	st, err := tree.Stats()
+	check(err)
+	fmt.Printf("entries:          %d\n", st.Entries)
+	fmt.Printf("height:           %d\n", st.Height)
+	fmt.Printf("data nodes:       %d\n", st.DataNodes)
+	fmt.Printf("index nodes:      %d\n", st.IndexNodes)
+	fmt.Printf("pages:            %d\n", file.NumPages())
+	fmt.Printf("avg fanout:       %.1f (max %d)\n", st.AvgFanout, st.MaxFanout)
+	fmt.Printf("avg data fill:    %.1f%% (min %.1f%%)\n", st.AvgDataFill*100, st.MinDataFill*100)
+	fmt.Printf("overlapping kd:   %.1f%% of internal records\n", st.OverlapFraction*100)
+	fmt.Printf("split dims used:  %d\n", st.SplitDimsUsed)
+	fmt.Printf("ELS side table:   %d bytes\n", st.ELSBytes)
+}

@@ -1,0 +1,143 @@
+// Command hybridbench regenerates the tables and figures of "The Hybrid
+// Tree: An Index Structure for High Dimensional Feature Spaces" (ICDE
+// 1999). Each experiment builds the hybrid tree and its competitors over
+// synthetic FOURIER/COLHIST datasets, runs the paper's constant-selectivity
+// query workloads, and prints the figure as an aligned series table.
+//
+// Usage:
+//
+//	hybridbench -fig 6cd              # one figure at the default scale
+//	hybridbench -all -paper           # everything at the paper's full scale
+//	hybridbench -table 1 -colhist 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridtree/internal/bench"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure to reproduce: 5ab, 5c, 6ab, 6cd, 7ab, 7cd")
+		table    = flag.Int("table", 0, "table to reproduce: 1 or 2")
+		ablation = flag.String("ablation", "", "ablation to run: pos, queryside, bulk, dp, elsmem")
+		all      = flag.Bool("all", false, "run every figure, table and ablation")
+		paper    = flag.Bool("paper", false, "use the paper's full scale (FOURIER 400K, COLHIST 70K, 100 queries)")
+		fourierN = flag.Int("fourier", 0, "FOURIER dataset size (overrides scale preset)")
+		colhistN = flag.Int("colhist", 0, "COLHIST dataset size (overrides scale preset)")
+		queries  = flag.Int("queries", 0, "queries per measurement point")
+		pageSize = flag.Int("page", 0, "page size in bytes (default 4096, as in the paper)")
+		seed     = flag.Int64("seed", 0, "random seed (default 1)")
+		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	opts := bench.Defaults()
+	if *paper {
+		opts = bench.Paper()
+	}
+	if *fourierN > 0 {
+		opts.FourierN = *fourierN
+	}
+	if *colhistN > 0 {
+		opts.ColHistN = *colhistN
+	}
+	if *queries > 0 {
+		opts.Queries = *queries
+	}
+	if *pageSize > 0 {
+		opts.PageSize = *pageSize
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if !*quiet {
+		opts.Out = os.Stderr
+	}
+
+	if !*all && *fig == "" && *table == 0 && *ablation == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(name string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybridbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	if *all || *fig == "5ab" {
+		a, b, err := bench.Fig5ab(opts)
+		run("fig5ab", err)
+		a.Print(os.Stdout)
+		b.Print(os.Stdout)
+	}
+	if *all || *fig == "5c" {
+		f, err := bench.Fig5c(opts)
+		run("fig5c", err)
+		f.Print(os.Stdout)
+	}
+	if *all || *fig == "6ab" {
+		io, cpu, err := bench.Fig6(opts, "FOURIER")
+		run("fig6ab", err)
+		io.Print(os.Stdout)
+		cpu.Print(os.Stdout)
+	}
+	if *all || *fig == "6cd" {
+		io, cpu, err := bench.Fig6(opts, "COLHIST")
+		run("fig6cd", err)
+		io.Print(os.Stdout)
+		cpu.Print(os.Stdout)
+	}
+	if *all || *fig == "7ab" {
+		io, cpu, err := bench.Fig7ab(opts)
+		run("fig7ab", err)
+		io.Print(os.Stdout)
+		cpu.Print(os.Stdout)
+	}
+	if *all || *fig == "7cd" {
+		io, cpu, err := bench.Fig7cd(opts)
+		run("fig7cd", err)
+		io.Print(os.Stdout)
+		cpu.Print(os.Stdout)
+	}
+	if *all || *table == 1 {
+		t, err := bench.Table1(opts)
+		run("table1", err)
+		t.Print(os.Stdout)
+	}
+	if *all || *table == 2 {
+		t, err := bench.Table2(opts)
+		run("table2", err)
+		t.Print(os.Stdout)
+	}
+	if *all || *ablation == "pos" {
+		f, err := bench.AblationSplitPosition(opts)
+		run("ablation pos", err)
+		f.Print(os.Stdout)
+	}
+	if *all || *ablation == "queryside" {
+		f, err := bench.AblationQuerySide(opts)
+		run("ablation queryside", err)
+		f.Print(os.Stdout)
+	}
+	if *all || *ablation == "bulk" {
+		t, err := bench.AblationBulkLoad(opts)
+		run("ablation bulk", err)
+		t.Print(os.Stdout)
+	}
+	if *all || *ablation == "dp" {
+		t, err := bench.AblationDPFamily(opts)
+		run("ablation dp", err)
+		t.Print(os.Stdout)
+	}
+	if *all || *ablation == "elsmem" {
+		t, err := bench.AblationELSMemory(opts)
+		run("ablation elsmem", err)
+		t.Print(os.Stdout)
+	}
+}

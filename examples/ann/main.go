@@ -1,0 +1,90 @@
+// Ann: the approximate-nearest-neighbor extension (the paper's named
+// future work) plus bulk loading. The example bulk-loads 64-d color
+// histograms, then sweeps the approximation knob epsilon, reporting the
+// recall/cost trade-off against exact search: every reported neighbor is
+// guaranteed within (1+epsilon) of the true same-rank distance, and the
+// page reads drop as epsilon grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridtree/internal/core"
+	"hybridtree/internal/dataset"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/pagefile"
+)
+
+func main() {
+	const dim = 64
+	const n = 40000
+	const k = 10
+
+	fmt.Printf("bulk loading %d histograms (%d-d)...\n", n, dim)
+	data := dataset.ColHist(n, dim, 21)
+	rids := make([]core.RecordID, n)
+	for i := range rids {
+		rids[i] = core.RecordID(i)
+	}
+	file := pagefile.NewMemFile(pagefile.DefaultPageSize)
+	tree, err := core.BulkLoad(file, core.Config{Dim: dim}, data, rids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := tree.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bulk-loaded: height %d, %d data pages, %.0f%% average fill\n\n",
+		st.Height, st.DataNodes, st.AvgDataFill*100)
+
+	queries := data[:50]
+	m := dist.L1()
+	stats := file.Stats()
+
+	// Exact baseline.
+	stats.Reset()
+	exact := make([][]core.Neighbor, len(queries))
+	for i, q := range queries {
+		ns, err := tree.SearchKNN(q, k, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact[i] = ns
+	}
+	exactReads := float64(stats.Reads()) / float64(len(queries))
+	fmt.Printf("%8s %14s %10s %12s\n", "epsilon", "reads/query", "recall@10", "max ratio")
+	fmt.Printf("%8s %14.1f %10s %12s   (exact)\n", "-", exactReads, "1.000", "1.000")
+
+	for _, eps := range []float64{0.1, 0.25, 0.5, 1.0, 2.0} {
+		stats.Reset()
+		hits, total := 0, 0
+		worstRatio := 1.0
+		for i, q := range queries {
+			ns, err := tree.SearchKNNApprox(q, k, m, eps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			truth := make(map[core.RecordID]bool, k)
+			for _, e := range exact[i] {
+				truth[e.RID] = true
+			}
+			for j, nb := range ns {
+				total++
+				if truth[nb.RID] {
+					hits++
+				}
+				if e := exact[i][j].Dist; e > 0 {
+					if r := nb.Dist / e; r > worstRatio {
+						worstRatio = r
+					}
+				}
+			}
+		}
+		reads := float64(stats.Reads()) / float64(len(queries))
+		fmt.Printf("%8.2f %14.1f %10.3f %12.3f\n",
+			eps, reads, float64(hits)/float64(total), worstRatio)
+	}
+	fmt.Println("\nmax ratio never exceeds 1+epsilon — the approximation guarantee.")
+}

@@ -1,0 +1,107 @@
+// Feedback: relevance-feedback retrieval — the scenario the paper cites as
+// the key reason an index must support *arbitrary* distance functions
+// (Section 3.5): in systems like MARS/MindReader the distance function
+// changes between iterations of the same query as the user marks results
+// relevant or not. Distance-based structures (SS-tree, M-tree) bake one
+// metric into the tree; the hybrid tree, being feature-based, serves every
+// iteration's new metric from the same index.
+//
+// The loop below simulates a user searching for images of one scene type:
+// each round re-derives per-dimension weights from the relevant results so
+// far (standard deviation re-weighting, as in MARS) and re-queries the same
+// tree with the new weighted metric.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hybridtree/internal/core"
+	"hybridtree/internal/dataset"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+func main() {
+	const dim = 32
+	const n = 20000
+
+	data := dataset.ColHist(n, dim, 11)
+	file := pagefile.NewMemFile(pagefile.DefaultPageSize)
+	tree, err := core.New(file, core.Config{Dim: dim})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range data {
+		if err := tree.Insert(p, core.RecordID(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The "ground truth" the simulated user wants: images whose histogram
+	// is close to a target scene under L1. The user recognizes them on
+	// sight; the system must learn the metric.
+	target := data[123]
+	isRelevant := func(p geom.Point) bool {
+		return dist.L1().Distance(target, p) < 0.25
+	}
+
+	// The user's first attempt is imperfect: a distorted memory of the
+	// scene. Rounds of feedback must recover the true neighborhood.
+	query := target.Clone()
+	for d := 0; d < dim; d += 3 {
+		query[d] = query[d] * 0.4
+	}
+	var metric dist.Metric = dist.L2() // iteration 1: default metric
+	var relevant []geom.Point
+
+	for round := 1; round <= 4; round++ {
+		stats := file.Stats()
+		stats.Reset()
+		results, err := tree.SearchKNN(query, 20, metric)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hits := 0
+		relevant = relevant[:0]
+		for _, nb := range results {
+			if isRelevant(nb.Point) {
+				hits++
+				relevant = append(relevant, nb.Point)
+			}
+		}
+		fmt.Printf("round %d (%-4s): precision@20 = %2d/20, %d page reads\n",
+			round, metric.Name(), hits, stats.Reads())
+		if len(relevant) < 2 {
+			fmt.Println("  not enough feedback to re-weight; stopping")
+			break
+		}
+
+		// MARS-style re-weighting: dimensions on which the relevant set
+		// agrees (low spread) get high weight. The new metric is handed to
+		// the *same* tree on the next round — no rebuild, no side index.
+		weights := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			var sum, sumSq float64
+			for _, p := range relevant {
+				v := float64(p[d])
+				sum += v
+				sumSq += v * v
+			}
+			m := sum / float64(len(relevant))
+			variance := sumSq/float64(len(relevant)) - m*m
+			weights[d] = 1.0 / (0.02 + math.Sqrt(variance))
+		}
+		wm, err := dist.NewWeightedLp(1, weights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		metric = wm
+
+		// The query point also drifts toward the relevant centroid
+		// (Rocchio-style).
+		query = geom.Centroid(relevant)
+	}
+}

@@ -1,0 +1,104 @@
+// Imagesearch: content-based image retrieval over color histograms — the
+// workload the hybrid tree was built for (it powered feature indexing in
+// the MARS image retrieval system). The example indexes 64-d color
+// histograms of a synthetic photo collection on disk, then answers
+// "find images that look like this one" queries under the L1 metric the
+// MARS work recommends for histograms, reporting the page I/O saved
+// against a linear scan.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hybridtree/internal/core"
+	"hybridtree/internal/dataset"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/pagefile"
+	"hybridtree/internal/seqscan"
+)
+
+func main() {
+	const (
+		dim     = 64 // 8x8 hue/saturation histogram
+		nImages = 30000
+	)
+	dir, err := os.MkdirTemp("", "imagesearch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Printf("extracting %d-bin color histograms from %d images...\n", dim, nImages)
+	histograms := dataset.ColHist(nImages, dim, 7)
+
+	// Index on disk, as a real deployment would.
+	file, err := pagefile.CreateDiskFile(filepath.Join(dir, "colhist.ht"), pagefile.DefaultPageSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer file.Close()
+	tree, err := core.New(file, core.Config{Dim: dim})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, h := range histograms {
+		if err := tree.Insert(h, core.RecordID(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("index built: %d pages, height %d, ELS side table %d bytes\n",
+		file.NumPages(), tree.Height(), tree.ELSMemoryBytes())
+
+	// The comparison baseline: scanning every histogram.
+	scanFile := pagefile.NewMemFile(pagefile.DefaultPageSize)
+	scan, err := seqscan.New(scanFile, dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, h := range histograms {
+		if err := scan.Insert(h, uint64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// "More like this": the user clicked image 4242.
+	query := histograms[4242]
+	stats := file.Stats()
+	stats.Reset()
+	similar, err := tree.SearchKNN(query, 10, dist.L1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nimages most similar to #4242 (L1 on color histograms):\n")
+	for i, nb := range similar {
+		fmt.Printf("  %2d. image %-6d distance %.4f\n", i+1, nb.RID, nb.Dist)
+	}
+	reads := stats.Reads()
+	fmt.Printf("\nindex cost: %d random page reads; a linear scan reads %d pages\n",
+		reads, scan.NumPages())
+	fmt.Printf("normalized I/O cost: %.4f (linear scan = 0.1 by the paper's convention)\n",
+		float64(reads)/float64(scan.NumPages()))
+
+	// Same index, different metric: a chi-squared-ish weighted comparison
+	// that discounts the histogram's dominant bins.
+	weights := make([]float64, dim)
+	for d := range weights {
+		weights[d] = 1.0 / (0.05 + float64(query[d]))
+	}
+	wm, err := dist.NewWeightedLp(1, weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats.Reset()
+	reweighted, err := tree.SearchKNN(query, 5, wm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame index, user-supplied weighted metric (%d page reads):\n", stats.Reads())
+	for i, nb := range reweighted {
+		fmt.Printf("  %2d. image %-6d distance %.4f\n", i+1, nb.RID, nb.Dist)
+	}
+}

@@ -1,0 +1,105 @@
+// Quickstart: build a hybrid tree in memory, run every query type, delete,
+// and inspect the structure. Start here.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hybridtree/internal/core"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+func main() {
+	const dim = 8
+
+	// A hybrid tree lives on a page file; 4096-byte pages are the paper's
+	// setting. For a persistent index use pagefile.CreateDiskFile instead.
+	file := pagefile.NewMemFile(pagefile.DefaultPageSize)
+	tree, err := core.New(file, core.Config{Dim: dim})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index 20,000 random feature vectors. Vectors must lie inside the
+	// configured data space (the unit cube by default).
+	rng := rand.New(rand.NewSource(42))
+	randomPoint := func() geom.Point {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = rng.Float32()
+		}
+		return p
+	}
+	var sample geom.Point
+	for i := 0; i < 20000; i++ {
+		p := randomPoint()
+		if i == 777 {
+			sample = p
+		}
+		if err := tree.Insert(p, core.RecordID(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("indexed %d vectors: height=%d, pages=%d\n",
+		tree.Size(), tree.Height(), file.NumPages())
+
+	// Bounding-box (feature-based) query.
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	for d := range lo {
+		lo[d], hi[d] = 0.1, 0.45
+	}
+	box, err := tree.SearchBox(geom.NewRect(lo, hi))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("box query matched %d vectors\n", len(box))
+
+	// Exact point lookup.
+	rids, err := tree.SearchPoint(sample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("point lookup of record 777 found rids %v\n", rids)
+
+	// Distance-based queries take the metric at query time — L2 now, L1 or
+	// a user-defined weighted metric on the next call, same index.
+	stats := file.Stats()
+	stats.Reset()
+	nn, err := tree.SearchKNN(sample, 5, dist.L2())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5-NN under L2 (cost: %d page reads):\n", stats.Reads())
+	for i, nb := range nn {
+		fmt.Printf("  %d. rid=%d dist=%.4f\n", i+1, nb.RID, nb.Dist)
+	}
+
+	within, err := tree.SearchRange(sample, 0.5, dist.L1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("L1 range query (r=0.5) matched %d vectors\n", len(within))
+
+	// Deletion uses eliminate-and-reinsert; the tree stays balanced.
+	found, err := tree.Delete(sample, 777)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deleted record 777: %v; size now %d\n", found, tree.Size())
+
+	// The structural audit verifies every invariant the search relies on.
+	if err := tree.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	st, err := tree.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("invariants hold; avg fanout %.1f, avg data fill %.0f%%, ELS table %d bytes\n",
+		st.AvgFanout, st.AvgDataFill*100, st.ELSBytes)
+}

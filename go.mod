@@ -1,0 +1,3 @@
+module hybridtree
+
+go 1.22

@@ -1,0 +1,157 @@
+// Package concurrent provides a goroutine-safe wrapper around the hybrid
+// tree. The core tree, like most paginated index implementations, is
+// single-threaded: traversals update the decoded-node cache and the access
+// counters, so even logically read-only operations mutate shared state.
+// Tree serializes every operation behind one mutex — the right call for
+// the library's primary use (offline benchmark-grade indexing) and a safe
+// default for services with moderate concurrency. Callers needing true
+// parallel reads should shard across multiple trees.
+package concurrent
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridtree/internal/core"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// Tree is a mutex-guarded hybrid tree.
+type Tree struct {
+	mu   sync.Mutex
+	tree *core.Tree
+}
+
+// New creates a goroutine-safe hybrid tree on file.
+func New(file pagefile.File, cfg core.Config) (*Tree, error) {
+	t, err := core.New(file, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{tree: t}, nil
+}
+
+// Open wraps core.Open.
+func Open(file pagefile.File, cfg core.Config) (*Tree, error) {
+	t, err := core.Open(file, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{tree: t}, nil
+}
+
+// Wrap guards an existing tree. The caller must not use the inner tree
+// directly afterwards.
+func Wrap(t *core.Tree) *Tree { return &Tree{tree: t} }
+
+// Insert is a goroutine-safe core.Tree.Insert.
+func (t *Tree) Insert(p geom.Point, rid core.RecordID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tree.Insert(p, rid)
+}
+
+// InsertBatch inserts many entries under one lock acquisition.
+func (t *Tree) InsertBatch(pts []geom.Point, rids []core.RecordID) error {
+	if len(pts) != len(rids) {
+		return fmt.Errorf("concurrent: %d points but %d record ids", len(pts), len(rids))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, p := range pts {
+		if err := t.tree.Insert(p, rids[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete is a goroutine-safe core.Tree.Delete.
+func (t *Tree) Delete(p geom.Point, rid core.RecordID) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tree.Delete(p, rid)
+}
+
+// Update atomically replaces the vector of a record: the delete and insert
+// happen under one lock, so no concurrent search observes the record
+// missing.
+func (t *Tree) Update(old, new geom.Point, rid core.RecordID) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	found, err := t.tree.Delete(old, rid)
+	if err != nil || !found {
+		return found, err
+	}
+	return true, t.tree.Insert(new, rid)
+}
+
+// SearchBox is a goroutine-safe core.Tree.SearchBox. Returned points are
+// cloned so they remain valid after the lock is released.
+func (t *Tree) SearchBox(q geom.Rect) ([]core.Entry, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	es, err := t.tree.SearchBox(q)
+	cloneEntries(es)
+	return es, err
+}
+
+// SearchRange is a goroutine-safe core.Tree.SearchRange.
+func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]core.Neighbor, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ns, err := t.tree.SearchRange(q, radius, m)
+	cloneNeighbors(ns)
+	return ns, err
+}
+
+// SearchKNN is a goroutine-safe core.Tree.SearchKNN.
+func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]core.Neighbor, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ns, err := t.tree.SearchKNN(q, k, m)
+	cloneNeighbors(ns)
+	return ns, err
+}
+
+// CountBox is a goroutine-safe core.Tree.CountBox.
+func (t *Tree) CountBox(q geom.Rect) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tree.CountBox(q)
+}
+
+// Size returns the number of stored records.
+func (t *Tree) Size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tree.Size()
+}
+
+// CheckInvariants runs the structural audit under the lock.
+func (t *Tree) CheckInvariants() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tree.CheckInvariants()
+}
+
+// Close flushes metadata.
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tree.Close()
+}
+
+func cloneEntries(es []core.Entry) {
+	for i := range es {
+		es[i].Point = es[i].Point.Clone()
+	}
+}
+
+func cloneNeighbors(ns []core.Neighbor) {
+	for i := range ns {
+		ns[i].Point = ns[i].Point.Clone()
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// TreeStats summarizes the structure of a hybrid tree — the measurable
+// counterparts of the Table 1 / Table 2 rows: fanout (independent of
+// dimensionality), degree of overlap (low but nonzero), and node
+// utilization (guaranteed).
+type TreeStats struct {
+	Height          int
+	DataNodes       int
+	IndexNodes      int
+	Entries         int
+	AvgFanout       float64 // mean children per index node
+	MaxFanout       int
+	AvgDataFill     float64 // mean data-node fill fraction
+	MinDataFill     float64
+	OverlapFraction float64 // fraction of kd internal records with lsp > rsp
+	OverlapVolume   float64 // total pairwise overlap volume between sibling BRs, normalized by total BR volume
+	SplitDimsUsed   int     // distinct dimensions appearing in any kd record
+	ELSBytes        int
+}
+
+// Stats walks the tree and computes structural statistics. It does not
+// perturb access counters: callers should snapshot/reset pagefile stats
+// around it if they are mid-measurement.
+func (t *Tree) Stats() (TreeStats, error) {
+	saved := *t.file.Stats()
+	defer func() { *t.file.Stats() = saved }()
+
+	st := TreeStats{Height: t.height, ELSBytes: t.els.MemoryBytes(), MinDataFill: 1}
+	dimsUsed := make(map[uint16]bool)
+	var kdInternal, kdOverlapping int
+	var fanoutSum int
+	var fillSum float64
+
+	var walk func(id pagefile.PageID, br geom.Rect) error
+	walk = func(id pagefile.PageID, br geom.Rect) error {
+		n, err := t.store.get(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			st.DataNodes++
+			st.Entries += len(n.pts)
+			fill := float64(len(n.pts)) / float64(t.cfg.dataCapacity())
+			fillSum += fill
+			if fill < st.MinDataFill {
+				st.MinDataFill = fill
+			}
+			return nil
+		}
+		st.IndexNodes++
+		n.walkReachable(func(k *kdNode) {
+			if k.isLeaf() {
+				return
+			}
+			kdInternal++
+			dimsUsed[k.Dim] = true
+			if k.Lsp > k.Rsp {
+				kdOverlapping++
+			}
+		})
+		entries := n.children(br)
+		fanoutSum += len(entries)
+		if len(entries) > st.MaxFanout {
+			st.MaxFanout = len(entries)
+		}
+		var totalVol, overlapVol float64
+		for i := range entries {
+			totalVol += entries[i].br.Area()
+			for j := i + 1; j < len(entries); j++ {
+				inter := entries[i].br.Intersect(entries[j].br)
+				if !inter.IsEmpty() {
+					overlapVol += inter.Area()
+				}
+			}
+		}
+		if totalVol > 0 {
+			st.OverlapVolume += overlapVol / totalVol
+		}
+		for _, e := range entries {
+			if err := walk(e.child, e.br); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.cfg.Space); err != nil {
+		return TreeStats{}, err
+	}
+	if st.IndexNodes > 0 {
+		st.AvgFanout = float64(fanoutSum) / float64(st.IndexNodes)
+		st.OverlapVolume /= float64(st.IndexNodes)
+	}
+	if st.DataNodes > 0 {
+		st.AvgDataFill = fillSum / float64(st.DataNodes)
+	}
+	if kdInternal > 0 {
+		st.OverlapFraction = float64(kdOverlapping) / float64(kdInternal)
+	}
+	st.SplitDimsUsed = len(dimsUsed)
+	if st.DataNodes == 1 && st.Entries == 0 {
+		st.MinDataFill = 0
+	}
+	return st, nil
+}
+
+// CheckInvariants verifies the structural invariants the hybrid tree's
+// correctness rests on and returns the first violation found:
+//
+//  1. every point in a subtree lies inside the subtree's mapped BR;
+//  2. mapped BRs lie inside the data space;
+//  3. decoded live-space rectangles contain their node's true live
+//     rectangle (ELS conservativeness);
+//  4. non-root data nodes respect capacity; all data nodes fit their page;
+//  5. every level is reachable at a consistent height;
+//  6. the entry count equals Size().
+func (t *Tree) CheckInvariants() error {
+	saved := *t.file.Stats()
+	defer func() { *t.file.Stats() = saved }()
+
+	entries := 0
+	var walk func(id pagefile.PageID, br geom.Rect, level int) (geom.Rect, error)
+	walk = func(id pagefile.PageID, br geom.Rect, level int) (geom.Rect, error) {
+		if !t.cfg.Space.ContainsRect(br) {
+			return geom.Rect{}, fmt.Errorf("node %d: mapped BR %v escapes data space", id, br)
+		}
+		n, err := t.store.get(id)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		live := geom.EmptyRect(t.cfg.Dim)
+		if n.leaf {
+			if level != 1 {
+				return geom.Rect{}, fmt.Errorf("node %d: data node at level %d", id, level)
+			}
+			if len(n.pts) > t.cfg.dataCapacity() {
+				return geom.Rect{}, fmt.Errorf("node %d: %d entries exceed capacity %d", id, len(n.pts), t.cfg.dataCapacity())
+			}
+			entries += len(n.pts)
+			for i, p := range n.pts {
+				if !br.Contains(p) {
+					return geom.Rect{}, fmt.Errorf("node %d: point %d %v outside mapped BR %v", id, i, p, br)
+				}
+				live.Enlarge(p)
+			}
+		} else {
+			if level <= 1 {
+				return geom.Rect{}, fmt.Errorf("node %d: index node at level %d", id, level)
+			}
+			kids := n.children(br)
+			if len(kids) == 0 {
+				return geom.Rect{}, fmt.Errorf("node %d: index node with no children", id)
+			}
+			seen := make(map[pagefile.PageID]bool)
+			for _, e := range kids {
+				if seen[e.child] {
+					return geom.Rect{}, fmt.Errorf("node %d: child %d referenced twice", id, e.child)
+				}
+				seen[e.child] = true
+				childLive, err := walk(e.child, e.br, level-1)
+				if err != nil {
+					return geom.Rect{}, err
+				}
+				live.EnlargeRect(childLive)
+			}
+		}
+		if dec, ok := t.els.Get(uint32(id), t.cfg.Space); ok && !live.IsEmpty() {
+			if !dec.ContainsRect(live) {
+				return geom.Rect{}, fmt.Errorf("node %d: decoded live rect %v misses true live rect %v", id, dec, live)
+			}
+		}
+		return live, nil
+	}
+	if _, err := walk(t.root, t.cfg.Space, t.height); err != nil {
+		return err
+	}
+	if entries != t.size {
+		return fmt.Errorf("entry count %d != Size() %d", entries, t.size)
+	}
+	return nil
+}
+
+// DropCaches discards decoded-node caches so subsequent operations exercise
+// the full page decode path (used by durability tests).
+func (t *Tree) DropCaches() { t.store.dropCache() }

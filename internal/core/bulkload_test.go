@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+func bulkRandom(t testing.TB, n, dim, pageSize int, seed int64) (*Tree, []geom.Point) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	rids := make([]RecordID, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = rng.Float32()
+		}
+		pts[i] = p
+		rids[i] = RecordID(i)
+	}
+	file := pagefile.NewMemFile(pageSize)
+	tree, err := BulkLoad(file, Config{Dim: dim, PageSize: pageSize}, pts, rids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, pts
+}
+
+func TestBulkLoadCorrectness(t *testing.T) {
+	for _, tc := range []struct{ n, dim, page int }{
+		{0, 4, 512},
+		{5, 4, 512},
+		{3000, 4, 512},
+		{3000, 8, 512},
+		{1500, 16, 1024},
+		{800, 64, 4096},
+	} {
+		t.Run(fmt.Sprintf("n%d_d%d", tc.n, tc.dim), func(t *testing.T) {
+			tree, pts := bulkRandom(t, tc.n, tc.dim, tc.page, 31)
+			if tree.Size() != tc.n {
+				t.Fatalf("size = %d, want %d", tree.Size(), tc.n)
+			}
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(37))
+			for q := 0; q < 15; q++ {
+				rect := randQueryRect(rng, tc.dim, 0.6)
+				got, err := tree.SearchBox(rect)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameSet(t, entriesToSet(got), bruteBox(pts, rect), "bulk box")
+			}
+		})
+	}
+}
+
+func TestBulkLoadUtilization(t *testing.T) {
+	tree, _ := bulkRandom(t, 8000, 8, 512, 41)
+	st, err := tree.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bulk loading should fill data pages near the bulkFill target, well
+	// above what incremental splits leave behind.
+	if st.AvgDataFill < 0.75 {
+		t.Fatalf("bulk avg fill %.2f, want >= 0.75", st.AvgDataFill)
+	}
+	t.Logf("bulk: height=%d dataNodes=%d fill=%.2f fanout=%.1f overlapVol=%.4f",
+		st.Height, st.DataNodes, st.AvgDataFill, st.AvgFanout, st.OverlapVolume)
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	tree, pts := bulkRandom(t, 2000, 6, 512, 43)
+	rng := rand.New(rand.NewSource(47))
+	// Insert more.
+	extra := make([]geom.Point, 500)
+	for i := range extra {
+		p := make(geom.Point, 6)
+		for d := range p {
+			p[d] = rng.Float32()
+		}
+		extra[i] = p
+		if err := tree.Insert(p, RecordID(10000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete some originals.
+	for i := 0; i < 300; i++ {
+		found, err := tree.Delete(pts[i], RecordID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("bulk-loaded entry %d missing", i)
+		}
+	}
+	if tree.Size() != 2000+500-300 {
+		t.Fatalf("size = %d", tree.Size())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Search matches brute force over the surviving set.
+	for q := 0; q < 10; q++ {
+		rect := randQueryRect(rng, 6, 0.5)
+		got, err := tree.SearchBox(rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(map[RecordID]bool)
+		for i, p := range pts {
+			if i >= 300 && rect.Contains(p) {
+				want[RecordID(i)] = true
+			}
+		}
+		for i, p := range extra {
+			if rect.Contains(p) {
+				want[RecordID(10000+i)] = true
+			}
+		}
+		sameSet(t, entriesToSet(got), want, "post-mutation box")
+	}
+}
+
+func TestBulkLoadPersistence(t *testing.T) {
+	file := pagefile.NewMemFile(512)
+	rng := rand.New(rand.NewSource(53))
+	pts := make([]geom.Point, 1000)
+	rids := make([]RecordID, 1000)
+	for i := range pts {
+		p := geom.Point{rng.Float32(), rng.Float32(), rng.Float32(), rng.Float32()}
+		pts[i], rids[i] = p, RecordID(i)
+	}
+	tree, err := BulkLoad(file, Config{Dim: 4, PageSize: 512}, pts, rids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(file, Config{Dim: 4, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Size() != 1000 {
+		t.Fatalf("reopened size = %d", reopened.Size())
+	}
+	if err := reopened.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	file := pagefile.NewMemFile(512)
+	if _, err := BulkLoad(file, Config{Dim: 2, PageSize: 512},
+		[]geom.Point{{0.5, 0.5}}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := BulkLoad(file, Config{Dim: 2, PageSize: 512},
+		[]geom.Point{{0.5, 1.5}}, []RecordID{1}); err == nil {
+		t.Fatal("out-of-space point accepted")
+	}
+	if _, err := BulkLoad(file, Config{Dim: 2, PageSize: 512},
+		[]geom.Point{{0.5}}, []RecordID{1}); err == nil {
+		t.Fatal("wrong-dim point accepted")
+	}
+}
+
+func TestApproxKNN(t *testing.T) {
+	tree, pts := buildRandom(t, 4000, 8, 512, Config{}, 59)
+	rng := rand.New(rand.NewSource(61))
+	m := dist.L2()
+	for q := 0; q < 10; q++ {
+		query := make(geom.Point, 8)
+		for d := range query {
+			query[d] = rng.Float32()
+		}
+		exact, err := tree.SearchKNN(query, 10, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// epsilon 0 must equal exact search.
+		zero, err := tree.SearchKNNApprox(query, 10, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range exact {
+			if diff := zero[i].Dist - exact[i].Dist; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("eps=0 diverges at %d: %g vs %g", i, zero[i].Dist, exact[i].Dist)
+			}
+		}
+		// epsilon > 0: every reported distance within (1+eps) of the true
+		// same-rank distance.
+		const eps = 0.5
+		approx, err := tree.SearchKNNApprox(query, 10, m, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(approx) != len(exact) {
+			t.Fatalf("approx returned %d results", len(approx))
+		}
+		for i := range approx {
+			if approx[i].Dist > exact[i].Dist*(1+eps)+1e-9 {
+				t.Fatalf("rank %d: approx %g exceeds (1+eps)*exact %g", i, approx[i].Dist, exact[i].Dist)
+			}
+		}
+	}
+	_ = pts
+}
+
+func TestApproxKNNSavesWork(t *testing.T) {
+	tree, _ := buildRandom(t, 6000, 16, 1024, Config{}, 67)
+	rng := rand.New(rand.NewSource(71))
+	query := make(geom.Point, 16)
+	for d := range query {
+		query[d] = rng.Float32()
+	}
+	stats := tree.File().Stats()
+	stats.Reset()
+	if _, err := tree.SearchKNN(query, 10, dist.L2()); err != nil {
+		t.Fatal(err)
+	}
+	exactReads := stats.Reads()
+	stats.Reset()
+	if _, err := tree.SearchKNNApprox(query, 10, dist.L2(), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	approxReads := stats.Reads()
+	if approxReads > exactReads {
+		t.Fatalf("approx (%d reads) costlier than exact (%d)", approxReads, exactReads)
+	}
+	t.Logf("exact=%d approx(eps=1)=%d reads", exactReads, approxReads)
+}
+
+func TestApproxKNNValidation(t *testing.T) {
+	tree, _ := buildRandom(t, 100, 4, 512, Config{}, 73)
+	if _, err := tree.SearchKNNApprox(geom.Point{0.5}, 1, dist.L2(), 0.1); err == nil {
+		t.Fatal("wrong dim accepted")
+	}
+	if _, err := tree.SearchKNNApprox(make(geom.Point, 4), 0, dist.L2(), 0.1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := tree.SearchKNNApprox(make(geom.Point, 4), 1, dist.L2(), -1); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}

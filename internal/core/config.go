@@ -1,0 +1,170 @@
+// Package core implements the hybrid tree of Chakrabarti and Mehrotra
+// (ICDE 1999): a paginated multidimensional index for high-dimensional
+// feature spaces that combines the space-partitioning family's
+// dimensionality-independent fanout (single-dimension splits represented by
+// an intra-node kd-tree) with the data-partitioning family's guaranteed
+// utilization (splits are allowed to overlap instead of cascading).
+//
+// Each index node stores a kd-tree whose internal nodes carry *two* split
+// positions — lsp, the upper boundary of the lower-side partition, and rsp,
+// the lower boundary of the higher-side partition — so lsp > rsp encodes
+// overlapping subspaces while lsp == rsp encodes a clean split. The mapping
+// from this representation to an "array of bounding regions" view (Figure 1
+// of the paper) is what lets R-tree-style insertion, deletion and search
+// algorithms run unchanged on top of a kd-tree representation.
+//
+// Node splitting minimizes the increase in the expected number of disk
+// accesses (EDA) for a uniformly distributed box query: data nodes split on
+// their maximum-extent dimension as near the middle as utilization allows
+// (Section 3.2); index nodes pick the dimension minimizing
+// (overlap + querySide)/(extent + querySide) after a 1-d bipartition of the
+// children's projected segments (Section 3.3). Dead space is pruned with
+// the encoded-live-space (ELS) side table (Section 3.4). Distance-based
+// range and k-nearest-neighbor queries accept any dist.Metric at query time
+// (Section 3.5).
+package core
+
+import (
+	"fmt"
+
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// RecordID identifies the data item a feature vector belongs to. The tree
+// stores (vector, RecordID) pairs; what the id denotes (image id, tuple id)
+// is the application's business.
+type RecordID uint64
+
+// Config controls tree geometry and the split policy's cost model.
+type Config struct {
+	// Dim is the dimensionality of the feature space. Required.
+	Dim int
+
+	// PageSize is the disk page (node) size in bytes. Defaults to
+	// pagefile.DefaultPageSize (4096, the paper's setting).
+	PageSize int
+
+	// Space is the data space; every inserted vector must lie inside it.
+	// Defaults to the unit cube [0,1]^Dim, the normalization the paper's
+	// EDA cost model assumes.
+	Space geom.Rect
+
+	// MinFillData is the minimum fill fraction of a data node enforced by
+	// splits (the paper's utilization constraint). Defaults to 0.4.
+	MinFillData float64
+
+	// MinFillIndex is the minimum fraction of an index node's children that
+	// each side of a split must receive. Defaults to 1/3.
+	MinFillIndex float64
+
+	// ELSBits is the encoded-live-space precision in bits per boundary per
+	// dimension; 0 means the default of 8. The paper's sweet spot is 4
+	// bits, but its grid is node-relative; ours is defined over the whole
+	// data space so that encodings stay valid as the dynamic tree widens
+	// split positions, which shifts the equivalent-precision knee to ~8
+	// bits (see Figure 5(c) and DESIGN.md). ELSDisabled turns the
+	// optimization off entirely.
+	ELSBits int
+
+	// ELSDisabled turns off live-space encoding (the "no ELS" series of
+	// Figure 5(c)).
+	ELSDisabled bool
+
+	// QuerySide is the expected side length r of future box queries, the
+	// parameter of the index-node EDA objective (w_d+r)/(s_d+r). Defaults
+	// to 0.1.
+	QuerySide float64
+
+	// UniformQuerySide, when true, averages the EDA objective over query
+	// sides uniformly distributed in (0, QuerySide] instead of using the
+	// fixed value — the integral form in Section 3.3.
+	UniformQuerySide bool
+
+	// Policy selects the node-splitting strategy. Defaults to EDAPolicy.
+	// VAMPolicy reproduces the paper's Figure 5(a,b) baseline.
+	Policy SplitPolicy
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults, or an
+// error when the configuration cannot index anything.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Dim < 1 {
+		return cfg, fmt.Errorf("core: Dim must be >= 1, got %d", cfg.Dim)
+	}
+	if cfg.Dim > 1<<15 {
+		return cfg, fmt.Errorf("core: Dim %d exceeds the on-page limit", cfg.Dim)
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = pagefile.DefaultPageSize
+	}
+	if cfg.PageSize < 64 {
+		return cfg, fmt.Errorf("core: PageSize %d too small", cfg.PageSize)
+	}
+	if cfg.Space.Dim() == 0 {
+		cfg.Space = geom.UnitCube(cfg.Dim)
+	}
+	if cfg.Space.Dim() != cfg.Dim {
+		return cfg, fmt.Errorf("core: Space dimensionality %d != Dim %d", cfg.Space.Dim(), cfg.Dim)
+	}
+	if cfg.MinFillData == 0 {
+		cfg.MinFillData = 0.4
+	}
+	if cfg.MinFillData < 0 || cfg.MinFillData > 0.5 {
+		return cfg, fmt.Errorf("core: MinFillData %g outside [0, 0.5]", cfg.MinFillData)
+	}
+	if cfg.MinFillIndex == 0 {
+		cfg.MinFillIndex = 1.0 / 3
+	}
+	if cfg.MinFillIndex < 0 || cfg.MinFillIndex > 0.5 {
+		return cfg, fmt.Errorf("core: MinFillIndex %g outside [0, 0.5]", cfg.MinFillIndex)
+	}
+	if cfg.ELSBits == 0 {
+		cfg.ELSBits = 8
+	}
+	if cfg.ELSDisabled {
+		cfg.ELSBits = 0
+	}
+	if cfg.ELSBits < 0 || cfg.ELSBits > 16 {
+		return cfg, fmt.Errorf("core: ELSBits %d outside [1, 16]", cfg.ELSBits)
+	}
+	if cfg.QuerySide == 0 {
+		cfg.QuerySide = 0.1
+	}
+	if cfg.QuerySide < 0 {
+		return cfg, fmt.Errorf("core: QuerySide %g must be positive", cfg.QuerySide)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = EDAPolicy{}
+	}
+	if cfg.dataCapacity() < 2 {
+		return cfg, fmt.Errorf("core: page size %d cannot hold two %d-dimensional entries", cfg.PageSize, cfg.Dim)
+	}
+	if cfg.maxFanout() < 4 {
+		return cfg, fmt.Errorf("core: page size %d cannot hold an index node", cfg.PageSize)
+	}
+	return cfg, nil
+}
+
+// dataCapacity returns the number of (vector, RecordID) entries a data page
+// holds: fanout of the leaf level.
+func (cfg *Config) dataCapacity() int {
+	return (cfg.PageSize - nodeHeaderSize) / (8 + 4*cfg.Dim)
+}
+
+// maxFanout returns the number of children an index page holds. A kd-tree
+// with c leaves has exactly c-1 internal nodes, so the page must fit
+// (c-1) internal records and c leaf records — *independent of Dim*, the
+// property motivating single-dimension splits (Table 1 of the paper).
+func (cfg *Config) maxFanout() int {
+	return (cfg.PageSize - nodeHeaderSize + kdInternalSize) / (kdInternalSize + kdLeafSize)
+}
+
+// minDataFill returns the minimum entry count of a non-root data node.
+func (cfg *Config) minDataFill() int {
+	m := int(cfg.MinFillData * float64(cfg.dataCapacity()))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}

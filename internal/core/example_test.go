@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"hybridtree/internal/core"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// A tiny 2-d dataset used by the examples: four corners and a center.
+func exampleTree() *core.Tree {
+	file := pagefile.NewMemFile(pagefile.DefaultPageSize)
+	tree, err := core.New(file, core.Config{Dim: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts := []geom.Point{
+		{0.1, 0.1}, {0.9, 0.1}, {0.1, 0.9}, {0.9, 0.9}, {0.5, 0.5},
+	}
+	for i, p := range pts {
+		if err := tree.Insert(p, core.RecordID(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return tree
+}
+
+func ExampleTree_SearchBox() {
+	tree := exampleTree()
+	// Everything in the lower-left quadrant.
+	hits, err := tree.SearchBox(geom.NewRect(geom.Point{0, 0}, geom.Point{0.5, 0.5}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range hits {
+		fmt.Printf("rid=%d at %v\n", e.RID, e.Point)
+	}
+	// Output:
+	// rid=0 at (0.1,0.1)
+	// rid=4 at (0.5,0.5)
+}
+
+func ExampleTree_SearchKNN() {
+	tree := exampleTree()
+	// The metric is chosen per query — L1 here, L2 or a weighted metric on
+	// the next call, same index.
+	nearest, err := tree.SearchKNN(geom.Point{0.2, 0.2}, 2, dist.L1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nb := range nearest {
+		fmt.Printf("rid=%d dist=%.1f\n", nb.RID, nb.Dist)
+	}
+	// Output:
+	// rid=0 dist=0.2
+	// rid=4 dist=0.6
+}
+
+func ExampleTree_SearchRange() {
+	tree := exampleTree()
+	within, err := tree.SearchRange(geom.Point{0.5, 0.5}, 0.6, dist.L2())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(within), "points within 0.6 of the center")
+	// Output:
+	// 5 points within 0.6 of the center
+}
+
+func ExampleTree_Delete() {
+	tree := exampleTree()
+	found, err := tree.Delete(geom.Point{0.5, 0.5}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deleted:", found, "size:", tree.Size())
+	// Output:
+	// deleted: true size: 4
+}
+
+func ExampleBulkLoad() {
+	pts := []geom.Point{{0.2, 0.3}, {0.7, 0.1}, {0.4, 0.8}}
+	rids := []core.RecordID{10, 20, 30}
+	file := pagefile.NewMemFile(pagefile.DefaultPageSize)
+	tree, err := core.BulkLoad(file, core.Config{Dim: 2}, pts, rids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("entries:", tree.Size(), "height:", tree.Height())
+	// Output:
+	// entries: 3 height: 1
+}
+
+func ExampleTree_CountBox() {
+	tree := exampleTree()
+	n, err := tree.CountBox(geom.NewRect(geom.Point{0, 0}, geom.Point{1, 0.5}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(n, "points in the lower half")
+	// Output:
+	// 3 points in the lower half
+}

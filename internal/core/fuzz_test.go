@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"hybridtree/internal/pagefile"
+)
+
+// FuzzDecodeNode throws arbitrary bytes at the page decoder: it must either
+// return a structured error or a decodable node — never panic, never loop.
+// Run `go test -fuzz FuzzDecodeNode ./internal/core` to explore beyond the
+// seed corpus.
+func FuzzDecodeNode(f *testing.F) {
+	// Seed with a few valid pages of both kinds, plus garbage.
+	mkData := func(dim, count int) []byte {
+		n := &node{id: 1, leaf: true, kdRoot: kdNone}
+		for i := 0; i < count; i++ {
+			p := make([]float32, dim)
+			for d := range p {
+				p[d] = float32(i) / 10
+			}
+			n.pts = append(n.pts, p)
+			n.rids = append(n.rids, RecordID(i))
+		}
+		buf := make([]byte, 4096)
+		size, err := n.encode(buf, dim)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return buf[:size]
+	}
+	mkIndex := func(dim int) []byte {
+		n := &node{id: 2, kd: []kdNode{
+			{Dim: 0, Lsp: 0.5, Rsp: 0.4, Left: 1, Right: 2},
+			{Left: kdNone, Right: kdNone, Child: 7},
+			{Left: kdNone, Right: kdNone, Child: 9},
+		}, kdRoot: 0}
+		buf := make([]byte, 4096)
+		size, err := n.encode(buf, dim)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return buf[:size]
+	}
+	f.Add(mkData(4, 3), 4)
+	f.Add(mkData(16, 0), 16)
+	f.Add(mkIndex(4), 4)
+	f.Add([]byte{}, 4)
+	f.Add([]byte{'H', 0, 4, 0, 255, 255}, 4)
+	f.Add([]byte{'H', 1, 4, 0, 3, 0, 0, 0, 0}, 4)
+	f.Add([]byte{'X', 9, 1, 2, 3}, 2)
+
+	f.Fuzz(func(t *testing.T, data []byte, dim int) {
+		if dim < 1 || dim > 64 {
+			return
+		}
+		n, err := decodeNode(pagefile.PageID(1), data, dim)
+		if err != nil {
+			return
+		}
+		// Anything that decoded must re-encode within a bounded buffer and
+		// decode again to the same structural size.
+		buf := make([]byte, 1<<20)
+		size, err := n.encode(buf, dim)
+		if err != nil {
+			return // oversized kd arenas may legitimately refuse
+		}
+		if _, err := decodeNode(pagefile.PageID(1), buf[:size], dim); err != nil {
+			t.Fatalf("re-decode of re-encoded node failed: %v", err)
+		}
+	})
+}

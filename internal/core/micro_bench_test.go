@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// Micro-benchmarks for the hybrid tree's individual operations. The
+// repository-level bench_test.go reproduces the paper's figures; these
+// isolate per-operation costs for profiling and regression tracking.
+
+func benchPoints(n, dim int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = rng.Float32()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func benchTree(b *testing.B, n, dim int) (*Tree, []geom.Point) {
+	b.Helper()
+	pts := benchPoints(n, dim, 1)
+	file := pagefile.NewMemFile(pagefile.DefaultPageSize)
+	tree, err := New(file, Config{Dim: dim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := tree.Insert(p, RecordID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tree, pts
+}
+
+func BenchmarkInsert16d(b *testing.B) {
+	pts := benchPoints(b.N+1000, 16, 2)
+	file := pagefile.NewMemFile(pagefile.DefaultPageSize)
+	tree, err := New(file, Config{Dim: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(pts[i], RecordID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsert64d(b *testing.B) {
+	pts := benchPoints(b.N+1000, 64, 3)
+	file := pagefile.NewMemFile(pagefile.DefaultPageSize)
+	tree, err := New(file, Config{Dim: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(pts[i], RecordID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkLoad16d(b *testing.B) {
+	pts := benchPoints(20000, 16, 4)
+	rids := make([]RecordID, len(pts))
+	for i := range rids {
+		rids[i] = RecordID(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		file := pagefile.NewMemFile(pagefile.DefaultPageSize)
+		if _, err := BulkLoad(file, Config{Dim: 16}, pts, rids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchBox16d(b *testing.B) {
+	tree, _ := benchTree(b, 20000, 16)
+	rng := rand.New(rand.NewSource(5))
+	queries := make([]geom.Rect, 64)
+	for i := range queries {
+		queries[i] = randQueryRect(rng, 16, 0.4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.SearchBox(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchKNN16d(b *testing.B) {
+	tree, pts := benchTree(b, 20000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.SearchKNN(pts[i%len(pts)], 10, dist.L2()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchKNNApprox16d(b *testing.B) {
+	tree, pts := benchTree(b, 20000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.SearchKNNApprox(pts[i%len(pts)], 10, dist.L2(), 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchRangeL1_64d(b *testing.B) {
+	tree, pts := benchTree(b, 10000, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.SearchRange(pts[i%len(pts)], 0.8, dist.L1()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDelete16d(b *testing.B) {
+	pts := benchPoints(b.N+20000, 16, 6)
+	file := pagefile.NewMemFile(pagefile.DefaultPageSize)
+	tree, err := New(file, Config{Dim: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := tree.Insert(p, RecordID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found, err := tree.Delete(pts[i], RecordID(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !found {
+			b.Fatalf("entry %d missing", i)
+		}
+	}
+}
+
+func BenchmarkNodeEncode64d(b *testing.B) {
+	pts := benchPoints(15, 64, 7)
+	n := &node{id: 1, leaf: true, kdRoot: kdNone}
+	for i, p := range pts {
+		n.pts = append(n.pts, p)
+		n.rids = append(n.rids, RecordID(i))
+	}
+	buf := make([]byte, pagefile.DefaultPageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.encode(buf, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNodeDecode64d(b *testing.B) {
+	pts := benchPoints(15, 64, 8)
+	n := &node{id: 1, leaf: true, kdRoot: kdNone}
+	for i, p := range pts {
+		n.pts = append(n.pts, p)
+		n.rids = append(n.rids, RecordID(i))
+	}
+	buf := make([]byte, pagefile.DefaultPageSize)
+	size, err := n.encode(buf, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeNode(1, buf[:size], 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+	"hybridtree/internal/pqueue"
+)
+
+// Entry is one stored record returned by a search.
+type Entry struct {
+	Point geom.Point
+	RID   RecordID
+}
+
+// Neighbor is a search result annotated with its distance to the query.
+type Neighbor struct {
+	Entry
+	Dist float64
+}
+
+// SearchBox returns every entry whose vector lies inside q (boundaries
+// inclusive) — the feature-based bounding-box query of Section 3.5, and the
+// query type of the paper's Figures 5 and 6.
+func (t *Tree) SearchBox(q geom.Rect) ([]Entry, error) {
+	if q.Dim() != t.cfg.Dim {
+		return nil, fmt.Errorf("core: query has dim %d, tree expects %d", q.Dim(), t.cfg.Dim)
+	}
+	var out []Entry
+	err := t.boxAt(t.root, t.cfg.Space, q, &out)
+	return out, err
+}
+
+// boxAt performs box search below one node. The intra-node kd-tree is
+// navigated by narrowing one boundary per internal record and re-testing
+// only that boundary — the "a boundary is checked only once" property that
+// gives the hybrid tree its intranode speed advantage over array-of-BR
+// structures (Section 3.1).
+func (t *Tree) boxAt(id pagefile.PageID, br geom.Rect, q geom.Rect, out *[]Entry) error {
+	n, err := t.store.get(id)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for i, p := range n.pts {
+			if q.Contains(p) {
+				*out = append(*out, Entry{Point: p, RID: n.rids[i]})
+			}
+		}
+		return nil
+	}
+	if n.kdRoot == kdNone {
+		return nil
+	}
+	type visit struct {
+		child pagefile.PageID
+		br    geom.Rect
+	}
+	var visits []visit
+	brWalk := br.Clone()
+	var walk func(idx int32)
+	walk = func(idx int32) {
+		k := &n.kd[idx]
+		if k.isLeaf() {
+			// Step two of the paper's two-step overlap check: the kd-defined
+			// BR already intersects q; now consult the encoded live space.
+			live, ok := t.els.Get(uint32(k.Child), t.cfg.Space)
+			if ok && !live.Intersects(q) {
+				return
+			}
+			visits = append(visits, visit{child: k.Child, br: brWalk.Clone()})
+			return
+		}
+		d := int(k.Dim)
+		oldHi := brWalk.Hi[d]
+		if k.Lsp < oldHi {
+			brWalk.Hi[d] = k.Lsp
+		}
+		if q.Lo[d] <= brWalk.Hi[d] && brWalk.Hi[d] >= brWalk.Lo[d] {
+			walk(k.Left)
+		}
+		brWalk.Hi[d] = oldHi
+		oldLo := brWalk.Lo[d]
+		if k.Rsp > oldLo {
+			brWalk.Lo[d] = k.Rsp
+		}
+		if q.Hi[d] >= brWalk.Lo[d] && brWalk.Hi[d] >= brWalk.Lo[d] {
+			walk(k.Right)
+		}
+		brWalk.Lo[d] = oldLo
+	}
+	walk(n.kdRoot)
+	for _, v := range visits {
+		if err := t.boxAt(v.child, v.br, q, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SearchPoint returns the record ids stored exactly at p.
+func (t *Tree) SearchPoint(p geom.Point) ([]RecordID, error) {
+	entries, err := t.SearchBox(geom.Rect{Lo: p, Hi: p})
+	if err != nil {
+		return nil, err
+	}
+	rids := make([]RecordID, 0, len(entries))
+	for _, e := range entries {
+		rids = append(rids, e.RID)
+	}
+	return rids, nil
+}
+
+// SearchRange returns every entry within distance radius of q under metric
+// m — the distance-based range query of Section 3.5. The metric is supplied
+// per query: nothing about the tree is specialized to it.
+func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]Neighbor, error) {
+	if len(q) != t.cfg.Dim {
+		return nil, fmt.Errorf("core: query has dim %d, tree expects %d", len(q), t.cfg.Dim)
+	}
+	if radius < 0 {
+		return nil, fmt.Errorf("core: negative radius %g", radius)
+	}
+	var out []Neighbor
+	err := t.rangeAt(t.root, t.cfg.Space, q, radius, m, &out)
+	return out, err
+}
+
+func (t *Tree) rangeAt(id pagefile.PageID, br geom.Rect, q geom.Point, radius float64, m dist.Metric, out *[]Neighbor) error {
+	n, err := t.store.get(id)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for i, p := range n.pts {
+			if d := m.Distance(q, p); d <= radius {
+				*out = append(*out, Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d})
+			}
+		}
+		return nil
+	}
+	type visit struct {
+		child pagefile.PageID
+		br    geom.Rect
+	}
+	var visits []visit
+	brWalk := br.Clone()
+	scratch := geom.Rect{Lo: make(geom.Point, t.cfg.Dim), Hi: make(geom.Point, t.cfg.Dim)}
+	var walk func(idx int32)
+	walk = func(idx int32) {
+		k := &n.kd[idx]
+		if k.isLeaf() {
+			// The child's true region is brWalk ∩ live; bounding against
+			// the intersection (built in a reused scratch rect) is strictly
+			// tighter than the max of the two separate MINDISTs.
+			lb := 0.0
+			if live, ok := t.els.Get(uint32(k.Child), t.cfg.Space); ok {
+				if !intersectInto(&scratch, brWalk, live) {
+					return
+				}
+				lb = m.MinDistRect(q, scratch)
+			} else {
+				lb = m.MinDistRect(q, brWalk)
+			}
+			if lb <= radius {
+				visits = append(visits, visit{child: k.Child, br: brWalk.Clone()})
+			}
+			return
+		}
+		d := int(k.Dim)
+		oldHi := brWalk.Hi[d]
+		if k.Lsp < oldHi {
+			brWalk.Hi[d] = k.Lsp
+		}
+		if brWalk.Hi[d] >= brWalk.Lo[d] {
+			walk(k.Left)
+		}
+		brWalk.Hi[d] = oldHi
+		oldLo := brWalk.Lo[d]
+		if k.Rsp > oldLo {
+			brWalk.Lo[d] = k.Rsp
+		}
+		if brWalk.Hi[d] >= brWalk.Lo[d] {
+			walk(k.Right)
+		}
+		brWalk.Lo[d] = oldLo
+	}
+	if n.kdRoot != kdNone {
+		walk(n.kdRoot)
+	}
+	for _, v := range visits {
+		if err := t.rangeAt(v.child, v.br, q, radius, m, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SearchKNN returns the k entries nearest to q under metric m, closest
+// first, using best-first (Hjaltason–Samet) traversal: nodes are expanded
+// in order of the MINDIST between q and their (live-space-tightened) BRs,
+// stopping when the next node cannot beat the current k-th distance.
+func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]Neighbor, error) {
+	if len(q) != t.cfg.Dim {
+		return nil, fmt.Errorf("core: query has dim %d, tree expects %d", len(q), t.cfg.Dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	type frontier struct {
+		id pagefile.PageID
+		br geom.Rect
+	}
+	var pq pqueue.Min[frontier]
+	best := pqueue.NewKBest[Neighbor](k)
+
+	rootBR := t.cfg.Space
+	pq.Push(frontier{id: t.root, br: rootBR}, 0)
+	for pq.Len() > 0 {
+		f, mindist := pq.Pop()
+		if best.Full() && mindist > best.Bound() {
+			break
+		}
+		n, err := t.store.get(f.id)
+		if err != nil {
+			return nil, err
+		}
+		if n.leaf {
+			for i, p := range n.pts {
+				d := m.Distance(q, p)
+				best.Offer(Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d}, d)
+			}
+			continue
+		}
+		brWalk := f.br.Clone()
+		scratch := geom.Rect{Lo: make(geom.Point, t.cfg.Dim), Hi: make(geom.Point, t.cfg.Dim)}
+		var walk func(idx int32)
+		walk = func(idx int32) {
+			k2 := &n.kd[idx]
+			if k2.isLeaf() {
+				var md float64
+				if live, ok := t.els.Get(uint32(k2.Child), t.cfg.Space); ok {
+					if !intersectInto(&scratch, brWalk, live) {
+						return
+					}
+					md = m.MinDistRect(q, scratch)
+				} else {
+					md = m.MinDistRect(q, brWalk)
+				}
+				if !best.Full() || md <= best.Bound() {
+					pq.Push(frontier{id: k2.Child, br: brWalk.Clone()}, md)
+				}
+				return
+			}
+			d := int(k2.Dim)
+			oldHi := brWalk.Hi[d]
+			if k2.Lsp < oldHi {
+				brWalk.Hi[d] = k2.Lsp
+			}
+			if brWalk.Hi[d] >= brWalk.Lo[d] {
+				walk(k2.Left)
+			}
+			brWalk.Hi[d] = oldHi
+			oldLo := brWalk.Lo[d]
+			if k2.Rsp > oldLo {
+				brWalk.Lo[d] = k2.Rsp
+			}
+			if brWalk.Hi[d] >= brWalk.Lo[d] {
+				walk(k2.Right)
+			}
+			brWalk.Lo[d] = oldLo
+		}
+		if n.kdRoot != kdNone {
+			walk(n.kdRoot)
+		}
+	}
+	neighbors, _ := best.Sorted()
+	return neighbors, nil
+}
+
+// intersectInto writes the intersection of a and b into dst (which must
+// have matching dimensionality) and reports whether it is non-empty.
+func intersectInto(dst *geom.Rect, a, b geom.Rect) bool {
+	for d := range dst.Lo {
+		lo, hi := a.Lo[d], a.Hi[d]
+		if b.Lo[d] > lo {
+			lo = b.Lo[d]
+		}
+		if b.Hi[d] < hi {
+			hi = b.Hi[d]
+		}
+		if lo > hi {
+			return false
+		}
+		dst.Lo[d], dst.Hi[d] = lo, hi
+	}
+	return true
+}

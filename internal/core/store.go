@@ -1,0 +1,81 @@
+package core
+
+import (
+	"hybridtree/internal/pagefile"
+)
+
+// store mediates between decoded nodes and their on-disk pages. It keeps a
+// write-through cache of decoded nodes so that tree construction does not
+// pay a decode per traversal step, while still charging *every* logical
+// node access to the page file's counters: the paper's I/O metric is the
+// number of disk accesses a cold query would make, so a cache hit must cost
+// the same one logical read as a miss.
+type store struct {
+	file  pagefile.File
+	dim   int
+	cache map[pagefile.PageID]*node
+	buf   []byte
+}
+
+func newStore(file pagefile.File, dim int) *store {
+	return &store{
+		file:  file,
+		dim:   dim,
+		cache: make(map[pagefile.PageID]*node),
+		buf:   make([]byte, file.PageSize()),
+	}
+}
+
+// get returns the decoded node for id, counting one logical random read.
+func (s *store) get(id pagefile.PageID) (*node, error) {
+	if n, ok := s.cache[id]; ok {
+		s.file.Stats().RandomReads++
+		return n, nil
+	}
+	if err := s.file.ReadPage(id, s.buf); err != nil {
+		return nil, err
+	}
+	n, err := decodeNode(id, s.buf, s.dim)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[id] = n
+	return n, nil
+}
+
+// alloc creates a fresh node of the requested kind backed by a new page.
+// The caller must put it once populated.
+func (s *store) alloc(leaf bool) (*node, error) {
+	id, err := s.file.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	n := &node{id: id, leaf: leaf, kdRoot: kdNone}
+	s.cache[id] = n
+	return n, nil
+}
+
+// put writes the node through to its page.
+func (s *store) put(n *node) error {
+	size, err := n.encode(s.buf, s.dim)
+	if err != nil {
+		return err
+	}
+	if err := s.file.WritePage(n.id, s.buf[:size]); err != nil {
+		return err
+	}
+	s.cache[n.id] = n
+	return nil
+}
+
+// free releases the node's page and drops it from the cache.
+func (s *store) free(id pagefile.PageID) error {
+	delete(s.cache, id)
+	return s.file.Free(id)
+}
+
+// dropCache empties the decoded-node cache (used by tests that want to
+// force decode paths, and by Close).
+func (s *store) dropCache() {
+	s.cache = make(map[pagefile.PageID]*node)
+}

@@ -1,0 +1,600 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hybridtree/internal/els"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// Tree is a hybrid tree index over a page file. It is not safe for
+// concurrent use; callers wanting concurrency wrap it with their own lock,
+// as they would a B-tree in the same style of storage engine.
+type Tree struct {
+	cfg    Config
+	file   pagefile.File
+	store  *store
+	els    *els.Table
+	meta   pagefile.PageID
+	root   pagefile.PageID
+	height int // 1 = root is a data node
+	size   int // number of stored records
+	// elsHead is the page chain holding the persisted ELS snapshot
+	// (InvalidPage when none has been written).
+	elsHead pagefile.PageID
+}
+
+// New creates an empty hybrid tree on file. Page 0 of the file is used for
+// tree metadata so the index can be reopened with Open.
+func New(file pagefile.File, cfg Config) (*Tree, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if file.PageSize() != cfg.PageSize {
+		return nil, fmt.Errorf("core: file page size %d != configured %d", file.PageSize(), cfg.PageSize)
+	}
+	t := &Tree{
+		cfg:     cfg,
+		file:    file,
+		store:   newStore(file, cfg.Dim),
+		els:     els.NewTable(cfg.ELSBits),
+		elsHead: pagefile.InvalidPage,
+	}
+	metaID, err := file.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	t.meta = metaID
+	root, err := t.store.alloc(true)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.store.put(root); err != nil {
+		return nil, err
+	}
+	t.root = root.id
+	t.height = 1
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open loads a tree previously created with New from its file. The
+// configuration must match the one the tree was built with in Dim and
+// PageSize; split-policy and ELS settings may differ (the ELS side table is
+// rebuilt from the data, as it lives in memory).
+func Open(file pagefile.File, cfg Config) (*Tree, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		cfg:     cfg,
+		file:    file,
+		store:   newStore(file, cfg.Dim),
+		els:     els.NewTable(cfg.ELSBits),
+		meta:    0,
+		elsHead: pagefile.InvalidPage,
+	}
+	if err := t.readMeta(); err != nil {
+		return nil, err
+	}
+	if t.els.Enabled() {
+		restored, err := t.loadELS(t.elsHead)
+		if err != nil {
+			return nil, err
+		}
+		if !restored {
+			if err := t.RebuildELS(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+const metaMagic = "HTREEv1\x00"
+
+func (t *Tree) writeMeta() error {
+	buf := make([]byte, 8+4+4+4+8+4+4)
+	copy(buf, metaMagic)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(t.cfg.Dim))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(t.root))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(t.height))
+	binary.LittleEndian.PutUint64(buf[20:], uint64(t.size))
+	binary.LittleEndian.PutUint32(buf[28:], uint32(t.cfg.PageSize))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(t.elsHead))
+	return t.file.WritePage(t.meta, buf)
+}
+
+func (t *Tree) readMeta() error {
+	buf := make([]byte, t.file.PageSize())
+	if err := t.file.ReadPage(t.meta, buf); err != nil {
+		return err
+	}
+	if string(buf[:8]) != metaMagic {
+		return &ErrCorruptPage{Page: t.meta, Reason: "bad meta magic"}
+	}
+	if dim := int(binary.LittleEndian.Uint32(buf[8:])); dim != t.cfg.Dim {
+		return fmt.Errorf("core: tree has dim %d, config says %d", dim, t.cfg.Dim)
+	}
+	if ps := int(binary.LittleEndian.Uint32(buf[28:])); ps != t.cfg.PageSize {
+		return fmt.Errorf("core: tree has page size %d, config says %d", ps, t.cfg.PageSize)
+	}
+	t.root = pagefile.PageID(binary.LittleEndian.Uint32(buf[12:]))
+	t.height = int(binary.LittleEndian.Uint32(buf[16:]))
+	t.size = int(binary.LittleEndian.Uint64(buf[20:]))
+	t.elsHead = pagefile.PageID(binary.LittleEndian.Uint32(buf[32:]))
+	if t.elsHead == t.meta {
+		// Page 0 is the metadata page, so 0 can never head a snapshot
+		// chain; files written before snapshots existed read as 0 here.
+		t.elsHead = pagefile.InvalidPage
+	}
+	return nil
+}
+
+// Close snapshots the ELS side table into the file and flushes metadata,
+// so a subsequent Open restores without re-reading the whole tree. The
+// page file itself remains the caller's to close.
+func (t *Tree) Close() error {
+	head, err := t.saveELS(t.elsHead)
+	if err != nil {
+		return err
+	}
+	t.elsHead = head
+	return t.writeMeta()
+}
+
+// Size returns the number of records in the tree.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the tree height; 1 means the root is a data node.
+func (t *Tree) Height() int { return t.height }
+
+// Config returns the tree's effective (defaulted) configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// File exposes the underlying page file (for access accounting).
+func (t *Tree) File() pagefile.File { return t.file }
+
+// ELSMemoryBytes reports the in-memory footprint of the encoded-live-space
+// side table, to check the paper's <1%-of-database claim.
+func (t *Tree) ELSMemoryBytes() int { return t.els.MemoryBytes() }
+
+// SetELSPrecision swaps the encoded-live-space table for one with the given
+// precision (0 disables) and rebuilds it from the stored data. The tree
+// structure itself never depends on ELS, so precision sweeps — Figure 5(c)
+// of the paper — can reuse one build.
+func (t *Tree) SetELSPrecision(bits int) error {
+	t.els = els.NewTable(bits)
+	t.cfg.ELSBits = bits
+	t.cfg.ELSDisabled = bits == 0
+	return t.RebuildELS()
+}
+
+// Insert adds (p, rid) to the tree. The vector must lie inside the
+// configured data space and have the configured dimensionality. Duplicate
+// (vector, rid) pairs are stored as distinct entries.
+func (t *Tree) Insert(p geom.Point, rid RecordID) error {
+	if len(p) != t.cfg.Dim {
+		return fmt.Errorf("core: vector has dim %d, tree expects %d", len(p), t.cfg.Dim)
+	}
+	if !t.cfg.Space.Contains(p) {
+		return fmt.Errorf("core: vector %v outside the data space %v", p, t.cfg.Space)
+	}
+	sr, err := t.insertAt(t.root, t.cfg.Space, p.Clone(), rid)
+	if err != nil {
+		return err
+	}
+	if sr != nil {
+		if err := t.growRoot(*sr); err != nil {
+			return err
+		}
+	}
+	t.size++
+	return nil
+}
+
+// growRoot installs a new root above a split old root.
+func (t *Tree) growRoot(sr splitResult) error {
+	root, err := t.store.alloc(false)
+	if err != nil {
+		return err
+	}
+	root.kd = []kdNode{
+		{Dim: sr.dim, Lsp: sr.lsp, Rsp: sr.rsp, Left: 1, Right: 2},
+		{Left: kdNone, Right: kdNone, Child: sr.left},
+		{Left: kdNone, Right: kdNone, Child: sr.right},
+	}
+	root.kdRoot = 0
+	if err := t.store.put(root); err != nil {
+		return err
+	}
+	t.root = root.id
+	t.height++
+	return nil
+}
+
+// insertAt descends into node id (whose mapped BR is br) and returns a
+// split descriptor when the node had to split.
+func (t *Tree) insertAt(id pagefile.PageID, br geom.Rect, p geom.Point, rid RecordID) (*splitResult, error) {
+	n, err := t.store.get(id)
+	if err != nil {
+		return nil, err
+	}
+	if n.leaf {
+		n.pts = append(n.pts, p)
+		n.rids = append(n.rids, rid)
+		if len(n.pts) > t.cfg.dataCapacity() {
+			sr, err := t.splitDataNode(n)
+			if err != nil {
+				return nil, err
+			}
+			return &sr, nil
+		}
+		if err := t.store.put(n); err != nil {
+			return nil, err
+		}
+		t.els.Set(uint32(n.id), t.cfg.Space, n.dataRect())
+		return nil, nil
+	}
+
+	leafIdx, path := t.chooseChild(n, br, p)
+	dirty := widenPath(n, path, p)
+	childBR := pathBR(n, br, path)
+	childID := n.kd[leafIdx].Child
+	t.els.EnlargeToInclude(uint32(childID), t.cfg.Space, p)
+
+	sr, err := t.insertAt(childID, childBR, p, rid)
+	if err != nil {
+		return nil, err
+	}
+	if sr != nil {
+		n.replaceLeafWithSplit(leafIdx, *sr)
+		if n.serializedSize(t.cfg.Dim) > t.cfg.PageSize {
+			up, err := t.splitIndexNode(n, br)
+			if err != nil {
+				return nil, err
+			}
+			return &up, nil
+		}
+		dirty = true
+	}
+	if dirty {
+		if err := t.store.put(n); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// chooseChild picks the child whose mapped BR needs the least enlargement
+// to accommodate p, ties broken by smaller area — the R-tree ChooseSubtree
+// criterion running over the "array of BRs" view (Section 3.5). It returns
+// the kd-leaf's arena index and the kd path from the root to it.
+//
+// The walk mutates and restores a scratch rectangle in place: this is the
+// hottest loop of construction and must not allocate per child.
+func (t *Tree) chooseChild(n *node, nodeBR geom.Rect, p geom.Point) (int32, []int32) {
+	br := nodeBR.Clone()
+	var (
+		bestIdx    int32 = kdNone
+		bestEnl          = 0.0
+		bestArea         = 0.0
+		first            = true
+		stack            = make([]int32, 0, 16)
+		bestPath         = make([]int32, 0, 16)
+	)
+	var walk func(idx int32)
+	walk = func(idx int32) {
+		stack = append(stack, idx)
+		defer func() { stack = stack[:len(stack)-1] }()
+		k := &n.kd[idx]
+		if k.isLeaf() {
+			enl, area := enlargementAndArea(br, p)
+			if first || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				first = false
+				bestIdx, bestEnl, bestArea = idx, enl, area
+				bestPath = append(bestPath[:0], stack...)
+			}
+			return
+		}
+		d := int(k.Dim)
+		oldHi := br.Hi[d]
+		if k.Lsp < oldHi {
+			br.Hi[d] = k.Lsp
+		}
+		if br.Hi[d] >= br.Lo[d] {
+			walk(k.Left)
+		}
+		br.Hi[d] = oldHi
+		oldLo := br.Lo[d]
+		if k.Rsp > oldLo {
+			br.Lo[d] = k.Rsp
+		}
+		if br.Hi[d] >= br.Lo[d] {
+			walk(k.Right)
+		}
+		br.Lo[d] = oldLo
+	}
+	if n.kdRoot == kdNone {
+		panic(fmt.Sprintf("core: index node %d has no children", n.id))
+	}
+	walk(n.kdRoot)
+	return bestIdx, bestPath
+}
+
+// enlargementAndArea returns the area increase needed for br to include p,
+// and br's area, in one pass.
+func enlargementAndArea(br geom.Rect, p geom.Point) (enl, area float64) {
+	area = 1.0
+	grown := 1.0
+	for d := range p {
+		lo, hi := br.Lo[d], br.Hi[d]
+		area *= float64(hi) - float64(lo)
+		if p[d] < lo {
+			lo = p[d]
+		}
+		if p[d] > hi {
+			hi = p[d]
+		}
+		grown *= float64(hi) - float64(lo)
+	}
+	return grown - area, area
+}
+
+// widenPath adjusts split positions along the kd path so the branch taken
+// at every internal node admits p — the hybrid tree's analogue of R-tree BR
+// enlargement. With overlapping or gapped splits the chosen child's bound
+// may exclude p; raising lsp (left branch) or lowering rsp (right branch)
+// to p's coordinate restores the invariant that a child's mapped BR
+// contains all data beneath it. Returns whether anything changed.
+func widenPath(n *node, path []int32, p geom.Point) bool {
+	changed := false
+	for i := 0; i+1 < len(path); i++ {
+		k := &n.kd[path[i]]
+		d := int(k.Dim)
+		if path[i+1] == k.Left {
+			if p[d] > k.Lsp {
+				k.Lsp = p[d]
+				changed = true
+			}
+		} else {
+			if p[d] < k.Rsp {
+				k.Rsp = p[d]
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// pathBR computes the mapped BR at the end of a kd path starting from the
+// node's own BR.
+func pathBR(n *node, nodeBR geom.Rect, path []int32) geom.Rect {
+	br := nodeBR.Clone()
+	for i := 0; i+1 < len(path); i++ {
+		k := &n.kd[path[i]]
+		d := int(k.Dim)
+		if path[i+1] == k.Left {
+			if k.Lsp < br.Hi[d] {
+				br.Hi[d] = k.Lsp
+			}
+		} else {
+			if k.Rsp > br.Lo[d] {
+				br.Lo[d] = k.Rsp
+			}
+		}
+	}
+	return br
+}
+
+// Delete removes one entry matching (p, rid). It reports whether an entry
+// was found. Underfull data nodes are eliminated and their remaining
+// entries reinserted, the R-tree eliminate-and-reinsert policy the paper
+// adopts (Section 3.5).
+func (t *Tree) Delete(p geom.Point, rid RecordID) (bool, error) {
+	if len(p) != t.cfg.Dim {
+		return false, fmt.Errorf("core: vector has dim %d, tree expects %d", len(p), t.cfg.Dim)
+	}
+	var orphanPts []geom.Point
+	var orphanRids []RecordID
+	found, _, err := t.deleteAt(t.root, t.cfg.Space, p, rid, t.height, &orphanPts, &orphanRids)
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		return false, nil
+	}
+	t.size--
+	// Shrink the root while it is an index node with a single child.
+	for {
+		rootN, err := t.store.get(t.root)
+		if err != nil {
+			return false, err
+		}
+		if rootN.leaf || rootN.kdRoot == kdNone || !rootN.kd[rootN.kdRoot].isLeaf() {
+			break
+		}
+		child := rootN.kd[rootN.kdRoot].Child
+		if err := t.store.free(t.root); err != nil {
+			return false, err
+		}
+		t.els.Delete(uint32(t.root))
+		t.root = child
+		t.height--
+	}
+	// Reinsert orphans from eliminated nodes.
+	for i, op := range orphanPts {
+		if err := t.Insert(op, orphanRids[i]); err != nil {
+			return false, err
+		}
+		t.size-- // Insert counted it again; the record was already counted
+	}
+	return true, nil
+}
+
+// deleteAt searches for (p, rid) beneath node id and removes it. It returns
+// whether the entry was found and whether the subtree is now completely
+// empty (so the parent can prune it). Eliminated children contribute their
+// remaining entries to the orphan lists.
+func (t *Tree) deleteAt(id pagefile.PageID, br geom.Rect, p geom.Point, rid RecordID, level int,
+	orphanPts *[]geom.Point, orphanRids *[]RecordID) (found, empty bool, err error) {
+
+	n, err := t.store.get(id)
+	if err != nil {
+		return false, false, err
+	}
+	if n.leaf {
+		for i := range n.pts {
+			if n.rids[i] == rid && n.pts[i].Equal(p) {
+				last := len(n.pts) - 1
+				n.pts[i], n.rids[i] = n.pts[last], n.rids[last]
+				n.pts = n.pts[:last]
+				n.rids = n.rids[:last]
+				return true, len(n.pts) == 0, t.store.put(n)
+			}
+		}
+		return false, false, nil
+	}
+
+	// Probe every child whose mapped BR (∩ live rect) contains p.
+	type cand struct {
+		idx   int32
+		child pagefile.PageID
+		br    geom.Rect
+	}
+	var cands []cand
+	brWalk := br.Clone()
+	var walk func(idx int32)
+	walk = func(idx int32) {
+		k := &n.kd[idx]
+		if k.isLeaf() {
+			if brWalk.Contains(p) {
+				live, ok := t.els.Get(uint32(k.Child), t.cfg.Space)
+				if !ok || live.Contains(p) {
+					cands = append(cands, cand{idx: idx, child: k.Child, br: brWalk.Clone()})
+				}
+			}
+			return
+		}
+		d := int(k.Dim)
+		oldHi := brWalk.Hi[d]
+		if k.Lsp < oldHi {
+			brWalk.Hi[d] = k.Lsp
+		}
+		if p[d] <= brWalk.Hi[d] {
+			walk(k.Left)
+		}
+		brWalk.Hi[d] = oldHi
+		oldLo := brWalk.Lo[d]
+		if k.Rsp > oldLo {
+			brWalk.Lo[d] = k.Rsp
+		}
+		if p[d] >= brWalk.Lo[d] {
+			walk(k.Right)
+		}
+		brWalk.Lo[d] = oldLo
+	}
+	if n.kdRoot != kdNone {
+		walk(n.kdRoot)
+	}
+
+	for _, c := range cands {
+		found, childEmpty, err := t.deleteAt(c.child, c.br, p, rid, level-1, orphanPts, orphanRids)
+		if err != nil {
+			return false, false, err
+		}
+		if !found {
+			continue
+		}
+		if childEmpty {
+			// Prune the empty subtree. If it is our only child, we are
+			// empty too and our parent prunes us instead.
+			if n.removeChild(c.child) {
+				if err := t.freeSubtree(c.child); err != nil {
+					return false, false, err
+				}
+				return true, false, t.store.put(n)
+			}
+			return true, true, t.store.put(n)
+		}
+		// Underflow handling: eliminate underfull data children (unless
+		// they are this node's only child) and queue their entries for
+		// reinsertion — the eliminate-and-reinsert policy of Section 3.5.
+		child, err := t.store.get(c.child)
+		if err != nil {
+			return false, false, err
+		}
+		if child.leaf && len(child.pts) < t.cfg.minDataFill() && n.removeChild(c.child) {
+			*orphanPts = append(*orphanPts, child.pts...)
+			*orphanRids = append(*orphanRids, child.rids...)
+			if err := t.store.free(c.child); err != nil {
+				return false, false, err
+			}
+			t.els.Delete(uint32(c.child))
+		}
+		return true, false, t.store.put(n)
+	}
+	return false, false, nil
+}
+
+// freeSubtree releases every page of an (empty) subtree.
+func (t *Tree) freeSubtree(id pagefile.PageID) error {
+	n, err := t.store.get(id)
+	if err != nil {
+		return err
+	}
+	if !n.leaf {
+		var children []pagefile.PageID
+		n.walkLeaves(func(idx int32) { children = append(children, n.kd[idx].Child) })
+		for _, c := range children {
+			if err := t.freeSubtree(c); err != nil {
+				return err
+			}
+		}
+	}
+	t.els.Delete(uint32(id))
+	return t.store.free(id)
+}
+
+// RebuildELS recomputes the encoded-live-space table from the stored data
+// (used after Open, when the in-memory side table is empty).
+func (t *Tree) RebuildELS() error {
+	if !t.els.Enabled() {
+		return nil
+	}
+	_, err := t.rebuildELSAt(t.root)
+	return err
+}
+
+func (t *Tree) rebuildELSAt(id pagefile.PageID) (geom.Rect, error) {
+	n, err := t.store.get(id)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	live := geom.EmptyRect(t.cfg.Dim)
+	if n.leaf {
+		if len(n.pts) > 0 {
+			live = n.dataRect()
+		}
+	} else {
+		var children []pagefile.PageID
+		n.walkLeaves(func(idx int32) { children = append(children, n.kd[idx].Child) })
+		for _, c := range children {
+			childLive, err := t.rebuildELSAt(c)
+			if err != nil {
+				return geom.Rect{}, err
+			}
+			live.EnlargeRect(childLive)
+		}
+	}
+	if !live.IsEmpty() {
+		t.els.Set(uint32(id), t.cfg.Space, live)
+	}
+	return live, nil
+}

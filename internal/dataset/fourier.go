@@ -1,0 +1,189 @@
+// Package dataset generates the synthetic stand-ins for the paper's two
+// evaluation datasets. The originals are not redistributable (FOURIER came
+// from Stefan Berchtold, COLHIST from Corel images), so we reproduce their
+// generative processes on synthetic inputs; DESIGN.md §4 documents why the
+// substitutions preserve the behavior the experiments measure. All
+// generators are deterministic in their seed and emit vectors normalized to
+// the unit cube, the data space the hybrid tree's cost model assumes.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"hybridtree/internal/geom"
+)
+
+// Fourier generates n dim-dimensional vectors of Fourier coefficients of
+// random polygon contours — the paper's FOURIER dataset (1.2M 16-d vectors;
+// 8-d and 12-d variants take the first coefficients). Each polygon is a
+// star-shaped contour whose radius performs a smoothed random walk around a
+// circle; the contour's complex discrete Fourier transform concentrates
+// energy in the low-order coefficients, so the trailing dimensions carry
+// progressively less discriminating power — the property that makes
+// implicit dimensionality reduction (paper §3.3) observable.
+func Fourier(n, dim int, seed int64) []geom.Point {
+	if dim < 1 || dim > 64 {
+		panic("dataset: Fourier supports 1..64 dimensions")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const vertices = 32
+	nCoef := (dim + 1) / 2
+
+	raw := make([][]float64, n)
+	for i := range raw {
+		raw[i] = fourierVector(rng, vertices, nCoef, dim)
+	}
+	return normalizePerDim(raw, dim)
+}
+
+// FourierGlobal is Fourier with per-dimension centering but a single global
+// scale, so the trailing coefficients keep their (tiny) extents relative to
+// the leading ones instead of being stretched to full width. This is the
+// variant on which the hybrid tree's implicit dimensionality reduction
+// (paper §3.3, Lemma 1) is directly observable: the tree simply never
+// splits on the non-discriminating tail. The benchmark figures use Fourier
+// (per-dimension normalization, the harder high-dimensional workload).
+func FourierGlobal(n, dim int, seed int64) []geom.Point {
+	if dim < 1 || dim > 64 {
+		panic("dataset: FourierGlobal supports 1..64 dimensions")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const vertices = 32
+	nCoef := (dim + 1) / 2
+	raw := make([][]float64, n)
+	for i := range raw {
+		raw[i] = fourierVector(rng, vertices, nCoef, dim)
+	}
+	return normalizeGlobal(raw, dim)
+}
+
+// fourierVector builds one polygon and returns the real/imaginary parts of
+// its first nCoef non-DC Fourier coefficients, interleaved.
+func fourierVector(rng *rand.Rand, vertices, nCoef, dim int) []float64 {
+	// Star-shaped polygon: radius random walk around the unit circle,
+	// smoothed so consecutive radii correlate (real shapes are smooth).
+	radii := make([]float64, vertices)
+	r := 1.0
+	for i := range radii {
+		r += rng.NormFloat64() * 0.15
+		if r < 0.3 {
+			r = 0.3
+		}
+		if r > 2.0 {
+			r = 2.0
+		}
+		radii[i] = r
+	}
+	// Close the walk smoothly: blend the ends so the contour has no seam.
+	for i := 0; i < 4; i++ {
+		w := float64(i+1) / 5
+		radii[vertices-1-i] = radii[vertices-1-i]*(1-w) + radii[0]*w
+	}
+
+	// Complex contour and its DFT. O(vertices * nCoef) suffices here — the
+	// coefficient count is small.
+	out := make([]float64, 0, dim)
+	for k := 1; k <= nCoef; k++ {
+		var re, im float64
+		for j := 0; j < vertices; j++ {
+			theta := 2 * math.Pi * float64(j) / float64(vertices)
+			x := radii[j] * math.Cos(theta)
+			y := radii[j] * math.Sin(theta)
+			arg := -2 * math.Pi * float64(k) * float64(j) / float64(vertices)
+			c, s := math.Cos(arg), math.Sin(arg)
+			// (x + iy) * (c + is)
+			re += x*c - y*s
+			im += x*s + y*c
+		}
+		re /= float64(vertices)
+		im /= float64(vertices)
+		out = append(out, re)
+		if len(out) < dim {
+			out = append(out, im)
+		}
+		if len(out) == dim {
+			break
+		}
+	}
+	return out
+}
+
+// normalizePerDim rescales every dimension to [0,1] by its own min/max —
+// the paper's "feature space is normalized" reading, and the harder
+// workload (every dimension stretched to full width).
+func normalizePerDim(raw [][]float64, dim int) []geom.Point {
+	lo, hi := bounds(raw, dim)
+	pts := make([]geom.Point, len(raw))
+	for i, v := range raw {
+		p := make(geom.Point, dim)
+		for d, x := range v {
+			ext := hi[d] - lo[d]
+			if ext <= 0 {
+				p[d] = 0
+				continue
+			}
+			p[d] = clamp01(float32((x - lo[d]) / ext))
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// normalizeGlobal maps the vectors into the unit cube with per-dimension
+// centering but a single global scale: the widest dimension spans [0,1] and
+// every other dimension keeps its extent *relative* to it.
+func normalizeGlobal(raw [][]float64, dim int) []geom.Point {
+	lo, hi := bounds(raw, dim)
+	globalExt := 0.0
+	for d := 0; d < dim; d++ {
+		if ext := hi[d] - lo[d]; ext > globalExt {
+			globalExt = ext
+		}
+	}
+	if globalExt <= 0 {
+		globalExt = 1
+	}
+	pts := make([]geom.Point, len(raw))
+	for i, v := range raw {
+		p := make(geom.Point, dim)
+		for d, x := range v {
+			mid := (lo[d] + hi[d]) / 2
+			p[d] = clamp01(float32((x-mid)/globalExt + 0.5))
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// bounds returns per-dimension min and max over raw.
+func bounds(raw [][]float64, dim int) (lo, hi []float64) {
+	lo = make([]float64, dim)
+	hi = make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, v := range raw {
+		for d, x := range v {
+			if x < lo[d] {
+				lo[d] = x
+			}
+			if x > hi[d] {
+				hi[d] = x
+			}
+		}
+	}
+	return lo, hi
+}
+
+// clamp01 guards against float32 rounding pushing a boundary value outside
+// the unit interval.
+func clamp01(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,68 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridtree/internal/geom"
+)
+
+func benchVecs(dim int) (geom.Point, geom.Point, geom.Rect) {
+	rng := rand.New(rand.NewSource(1))
+	a := make(geom.Point, dim)
+	q := make(geom.Point, dim)
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	for d := 0; d < dim; d++ {
+		a[d], q[d] = rng.Float32(), rng.Float32()
+		x, y := rng.Float32(), rng.Float32()
+		if x > y {
+			x, y = y, x
+		}
+		lo[d], hi[d] = x, y
+	}
+	return a, q, geom.Rect{Lo: lo, Hi: hi}
+}
+
+func BenchmarkL1Distance64d(b *testing.B) {
+	a, q, _ := benchVecs(64)
+	m := L1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Distance(a, q)
+	}
+}
+
+func BenchmarkL2Distance64d(b *testing.B) {
+	a, q, _ := benchVecs(64)
+	m := L2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Distance(a, q)
+	}
+}
+
+func BenchmarkL1MinDistRect64d(b *testing.B) {
+	_, q, r := benchVecs(64)
+	m := L1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MinDistRect(q, r)
+	}
+}
+
+func BenchmarkWeightedLp64d(b *testing.B) {
+	a, q, _ := benchVecs(64)
+	w := make([]float64, 64)
+	for i := range w {
+		w[i] = 1 + float64(i%3)
+	}
+	m, err := NewWeightedLp(2, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Distance(a, q)
+	}
+}

@@ -1,0 +1,176 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybridtree/internal/geom"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestKnownDistances(t *testing.T) {
+	a := geom.Point{0, 0}
+	b := geom.Point{3, 4}
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{L1(), 7},
+		{L2(), 5},
+		{Linf(), 4},
+		{LpMetric{P: 2}, 5},
+		{LpMetric{P: 1}, 7},
+	}
+	for _, c := range cases {
+		if got := c.m.Distance(a, b); !almostEq(got, c.want) {
+			t.Errorf("%s(a,b) = %g, want %g", c.m.Name(), got, c.want)
+		}
+	}
+}
+
+func TestWeightedLp(t *testing.T) {
+	m, err := NewWeightedLp(1, []float64{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second dimension weight zero: differences there are ignored.
+	got := m.Distance(geom.Point{0, 0}, geom.Point{1, 100})
+	if !almostEq(got, 2) {
+		t.Fatalf("weighted distance = %g, want 2", got)
+	}
+	if _, err := NewWeightedLp(0.5, []float64{1}); err == nil {
+		t.Fatal("p<1 should be rejected")
+	}
+	if _, err := NewWeightedLp(2, []float64{-1}); err == nil {
+		t.Fatal("negative weight should be rejected")
+	}
+	if _, err := NewWeightedLp(2, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN weight should be rejected")
+	}
+}
+
+func TestMinDistRectInsideIsZero(t *testing.T) {
+	r := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	q := geom.Point{0.5, 0.5}
+	for _, m := range []Metric{L1(), L2(), Linf(), LpMetric{P: 3}} {
+		if got := m.MinDistRect(q, r); got != 0 {
+			t.Errorf("%s MinDistRect inside = %g, want 0", m.Name(), got)
+		}
+	}
+}
+
+func TestMinDistRectKnown(t *testing.T) {
+	r := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	q := geom.Point{4, 5}
+	if got := L1().MinDistRect(q, r); !almostEq(got, 7) {
+		t.Fatalf("L1 mindist = %g, want 7", got)
+	}
+	if got := L2().MinDistRect(q, r); !almostEq(got, 5) {
+		t.Fatalf("L2 mindist = %g, want 5", got)
+	}
+	if got := Linf().MinDistRect(q, r); !almostEq(got, 4) {
+		t.Fatalf("Linf mindist = %g, want 4", got)
+	}
+}
+
+func randPoint(rng *rand.Rand, dim int) geom.Point {
+	p := make(geom.Point, dim)
+	for d := range p {
+		p[d] = rng.Float32()
+	}
+	return p
+}
+
+func metrics() []Metric {
+	w8 := make([]float64, 8)
+	for i := range w8 {
+		w8[i] = float64(i%3) + 0.5
+	}
+	wm, _ := NewWeightedLp(2, w8)
+	return []Metric{L1(), L2(), Linf(), LpMetric{P: 3}, wm}
+}
+
+// Metric axioms: non-negativity, identity, symmetry, triangle inequality.
+func TestMetricAxioms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const dim = 8
+		a, b, c := randPoint(rng, dim), randPoint(rng, dim), randPoint(rng, dim)
+		for _, m := range metrics() {
+			dab, dba := m.Distance(a, b), m.Distance(b, a)
+			if dab < 0 || !almostEq(dab, dba) {
+				return false
+			}
+			if m.Distance(a, a) > 1e-9 {
+				return false
+			}
+			if m.Distance(a, c) > dab+m.Distance(b, c)+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MINDIST contract: for any rectangle r and any point x inside it,
+// MinDistRect(q, r) <= Distance(q, x).
+func TestMinDistLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const dim = 6
+		lo, hi := randPoint(rng, dim), randPoint(rng, dim)
+		for d := range lo {
+			if lo[d] > hi[d] {
+				lo[d], hi[d] = hi[d], lo[d]
+			}
+		}
+		r := geom.Rect{Lo: lo, Hi: hi}
+		q := make(geom.Point, dim)
+		for d := range q {
+			q[d] = rng.Float32()*3 - 1
+		}
+		// Random point inside r.
+		x := make(geom.Point, dim)
+		for d := range x {
+			x[d] = lo[d] + rng.Float32()*(hi[d]-lo[d])
+		}
+		for _, m := range metrics() {
+			if m.MinDistRect(q, r) > m.Distance(q, x)+1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// L1 >= L2 >= Linf pointwise — relied on by SR-tree sphere pruning under L1.
+func TestNormOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randPoint(rng, 10), randPoint(rng, 10)
+		d1, d2, di := L1().Distance(a, b), L2().Distance(a, b), Linf().Distance(a, b)
+		return d1 >= d2-1e-9 && d2 >= di-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if L1().Name() != "L1" || L2().Name() != "L2" || Linf().Name() != "Linf" {
+		t.Fatal("unexpected metric names")
+	}
+	wm, _ := NewWeightedLp(2, []float64{1})
+	if wm.Name() != "wL2" {
+		t.Fatalf("weighted name = %q", wm.Name())
+	}
+}

@@ -1,0 +1,35 @@
+package dist_test
+
+import (
+	"fmt"
+	"log"
+
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+)
+
+func ExampleNewWeightedLp() {
+	// Relevance feedback produced per-dimension weights: the second
+	// dimension matters three times as much as the first.
+	m, err := dist.NewWeightedLp(1, []float64{1, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := geom.Point{0.0, 0.0}
+	b := geom.Point{0.2, 0.1}
+	fmt.Printf("%s distance = %.1f\n", m.Name(), m.Distance(a, b))
+	// Output:
+	// wL1 distance = 0.5
+}
+
+func ExampleMetric() {
+	// Every metric provides MINDIST to a rectangle — the lower bound
+	// pruning relies on.
+	r := geom.NewRect(geom.Point{0.4, 0.4}, geom.Point{0.6, 0.6})
+	q := geom.Point{0.1, 0.5}
+	fmt.Printf("L1 mindist  = %.1f\n", dist.L1().MinDistRect(q, r))
+	fmt.Printf("L2 mindist  = %.1f\n", dist.L2().MinDistRect(q, r))
+	// Output:
+	// L1 mindist  = 0.3
+	// L2 mindist  = 0.3
+}

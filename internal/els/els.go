@@ -1,0 +1,244 @@
+// Package els implements the hybrid tree's Encoded Live Space (ELS)
+// optimization (Section 3.4, Figure 4 of the paper). SP-based structures
+// index dead space — regions of their partitions that contain no data — and
+// pay unnecessary disk accesses for it. Storing exact live-space bounding
+// rectangles would make node size dimension-dependent (turning the structure
+// back into a DP technique), so the live rectangle is instead *encoded*
+// relative to the kd-tree-defined region on a 2^bits grid per dimension,
+// costing 2·dim·bits bits per node. The encoding is conservative: the
+// decoded rectangle always contains the true live rectangle, so pruning with
+// it is safe.
+package els
+
+import (
+	"fmt"
+	"math"
+
+	"hybridtree/internal/geom"
+)
+
+// Encoded is a bit-packed live-space rectangle: for each dimension, a
+// lo-cell index (rounded down) and a hi-cell index (rounded up), each using
+// the table's configured number of bits.
+type Encoded []byte
+
+// Table holds the encoded live rectangles of a tree's nodes, keyed by an
+// opaque node identifier (page id). The paper stores this side information
+// in memory — for an 8K page, 4-bit precision and 64 dimensions it is under
+// 1% of the database size — and so do we. MemoryBytes reports the honest
+// footprint so the harness can verify that claim.
+type Table struct {
+	bits int
+	enc  map[uint32]Encoded
+	// dec memoizes decoded rectangles so the two-step overlap check of
+	// Section 3.4 costs a rectangle intersection rather than a bit-unpack
+	// per child per query. The encoded form remains canonical and is what
+	// MemoryBytes accounts for.
+	dec map[uint32]geom.Rect
+}
+
+// NewTable creates an ELS table with the given precision in bits per
+// boundary (0 disables encoding: Decode returns the outer rectangle
+// unchanged). The paper sweeps 0–16 bits in Figure 5(c); 4 is its sweet
+// spot.
+func NewTable(bits int) *Table {
+	if bits < 0 || bits > 16 {
+		panic(fmt.Sprintf("els: bits per boundary must be in [0,16], got %d", bits))
+	}
+	return &Table{bits: bits, enc: make(map[uint32]Encoded), dec: make(map[uint32]geom.Rect)}
+}
+
+// Bits returns the configured precision.
+func (t *Table) Bits() int { return t.bits }
+
+// Enabled reports whether encoding is active (bits > 0).
+func (t *Table) Enabled() bool { return t.bits > 0 }
+
+// MemoryBytes returns the total size of all stored encodings.
+func (t *Table) MemoryBytes() int {
+	n := 0
+	for _, e := range t.enc {
+		n += len(e)
+	}
+	return n
+}
+
+// Set encodes live relative to outer and stores it for id. live must be
+// contained in outer (up to float rounding; coordinates are clamped).
+func (t *Table) Set(id uint32, outer, live geom.Rect) {
+	if !t.Enabled() {
+		return
+	}
+	e := Encode(outer, live, t.bits)
+	t.enc[id] = e
+	t.dec[id] = Decode(outer, e, t.bits)
+}
+
+// Get returns the decoded live rectangle for id, or outer itself when no
+// encoding is stored (or encoding is disabled). The second return reports
+// whether an encoding was present. The returned rectangle is shared with
+// the table's memo — callers must not mutate it.
+func (t *Table) Get(id uint32, outer geom.Rect) (geom.Rect, bool) {
+	if !t.Enabled() {
+		return outer, false
+	}
+	if r, ok := t.dec[id]; ok {
+		return r, true
+	}
+	e, ok := t.enc[id]
+	if !ok {
+		return outer, false
+	}
+	r := Decode(outer, e, t.bits)
+	t.dec[id] = r
+	return r, true
+}
+
+// EnlargeToInclude grows id's stored live rectangle to include p (used on
+// insertion). If nothing is stored yet, the live rectangle becomes the
+// degenerate rectangle at p.
+func (t *Table) EnlargeToInclude(id uint32, outer geom.Rect, p geom.Point) {
+	if !t.Enabled() {
+		return
+	}
+	live, ok := t.Get(id, outer)
+	if !ok {
+		live = geom.Rect{Lo: p.Clone(), Hi: p.Clone()}
+	}
+	if live.Contains(p) {
+		return // common case: no re-encode needed
+	}
+	live = live.Clone()
+	live.Enlarge(p)
+	t.Set(id, outer, live)
+}
+
+// Delete removes id's encoding (when its node is freed).
+func (t *Table) Delete(id uint32) {
+	delete(t.enc, id)
+	delete(t.dec, id)
+}
+
+// Len returns the number of stored encodings.
+func (t *Table) Len() int { return len(t.enc) }
+
+// Snapshot returns every stored (id, encoding) pair, for persistence. The
+// encodings are shared, not copied.
+func (t *Table) Snapshot() (ids []uint32, encs []Encoded) {
+	ids = make([]uint32, 0, len(t.enc))
+	encs = make([]Encoded, 0, len(t.enc))
+	for id, e := range t.enc {
+		ids = append(ids, id)
+		encs = append(encs, e)
+	}
+	return ids, encs
+}
+
+// Restore installs an encoding captured by Snapshot. The decoded memo is
+// populated lazily on the first Get.
+func (t *Table) Restore(id uint32, enc Encoded) {
+	if !t.Enabled() {
+		return
+	}
+	t.enc[id] = enc
+}
+
+// Encode quantizes live relative to outer using the given bits per boundary.
+// Lo boundaries round down and hi boundaries round up, so the decoded
+// rectangle always contains live.
+func Encode(outer, live geom.Rect, bits int) Encoded {
+	dim := outer.Dim()
+	cells := float64(int(1) << bits)
+	w := newBitWriter(2 * dim * bits)
+	for d := 0; d < dim; d++ {
+		ext := outer.Extent(d)
+		var loCell, hiCell uint32
+		if ext <= 0 {
+			// Degenerate outer extent: the whole cell range is one point.
+			loCell, hiCell = 0, uint32(cells)-1
+		} else {
+			loFrac := (float64(live.Lo[d]) - float64(outer.Lo[d])) / ext
+			hiFrac := (float64(live.Hi[d]) - float64(outer.Lo[d])) / ext
+			loCell = clampCell(math.Floor(loFrac*cells), cells)
+			hiCell = clampCell(math.Ceil(hiFrac*cells)-1, cells)
+			if hiCell < loCell {
+				hiCell = loCell
+			}
+		}
+		w.write(loCell, bits)
+		w.write(hiCell, bits)
+	}
+	return w.bytes()
+}
+
+// Decode expands an encoding back to a rectangle in outer's coordinates.
+func Decode(outer geom.Rect, e Encoded, bits int) geom.Rect {
+	dim := outer.Dim()
+	cells := float64(int(1) << bits)
+	r := newBitReader(e)
+	out := geom.Rect{Lo: make(geom.Point, dim), Hi: make(geom.Point, dim)}
+	for d := 0; d < dim; d++ {
+		loCell := r.read(bits)
+		hiCell := r.read(bits)
+		ext := outer.Extent(d)
+		out.Lo[d] = outer.Lo[d] + float32(float64(loCell)/cells*ext)
+		out.Hi[d] = outer.Lo[d] + float32(float64(hiCell+1)/cells*ext)
+		if out.Hi[d] > outer.Hi[d] {
+			out.Hi[d] = outer.Hi[d]
+		}
+		if out.Lo[d] < outer.Lo[d] {
+			out.Lo[d] = outer.Lo[d]
+		}
+	}
+	return out
+}
+
+func clampCell(v, cells float64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > cells-1 {
+		return uint32(cells) - 1
+	}
+	return uint32(v)
+}
+
+// bitWriter packs fixed-width unsigned values MSB-first.
+type bitWriter struct {
+	buf []byte
+	n   int // bits written
+}
+
+func newBitWriter(totalBits int) *bitWriter {
+	return &bitWriter{buf: make([]byte, (totalBits+7)/8)}
+}
+
+func (w *bitWriter) write(v uint32, bits int) {
+	for i := bits - 1; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			w.buf[w.n/8] |= 1 << uint(7-w.n%8)
+		}
+		w.n++
+	}
+}
+
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+type bitReader struct {
+	buf []byte
+	n   int
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+func (r *bitReader) read(bits int) uint32 {
+	var v uint32
+	for i := 0; i < bits; i++ {
+		v <<= 1
+		if r.buf[r.n/8]&(1<<uint(7-r.n%8)) != 0 {
+			v |= 1
+		}
+		r.n++
+	}
+	return v
+}

@@ -1,0 +1,171 @@
+package els
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybridtree/internal/geom"
+)
+
+func TestEncodeDecodeConservative(t *testing.T) {
+	outer := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	live := geom.NewRect(geom.Point{0.1, 0.3}, geom.Point{0.4, 0.9})
+	for _, bits := range []int{1, 2, 4, 8, 16} {
+		e := Encode(outer, live, bits)
+		dec := Decode(outer, e, bits)
+		if !dec.ContainsRect(live) {
+			t.Fatalf("bits=%d: decoded %v does not contain live %v", bits, dec, live)
+		}
+		if !outer.ContainsRect(dec) {
+			t.Fatalf("bits=%d: decoded %v escapes outer", bits, dec)
+		}
+	}
+}
+
+func TestPrecisionImproves(t *testing.T) {
+	outer := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	live := geom.NewRect(geom.Point{0.33, 0.21}, geom.Point{0.4, 0.27})
+	prevArea := outer.Area()
+	for _, bits := range []int{1, 2, 4, 8, 12} {
+		dec := Decode(outer, Encode(outer, live, bits), bits)
+		a := dec.Area()
+		if a > prevArea+1e-12 {
+			t.Fatalf("bits=%d: area %g worse than previous %g", bits, a, prevArea)
+		}
+		prevArea = a
+	}
+	// With many bits the decoded rect should be close to the live rect.
+	dec := Decode(outer, Encode(outer, live, 16), 16)
+	if dec.Area() > live.Area()*1.01+1e-9 {
+		t.Fatalf("16-bit decode too loose: %g vs %g", dec.Area(), live.Area())
+	}
+}
+
+func TestEncodingSize(t *testing.T) {
+	// 2 boundaries * dim * bits, rounded up to bytes — the paper's
+	// 2*num_dimensions*ELSPRECISION accounting (Figure 4).
+	outer := geom.UnitCube(64)
+	e := Encode(outer, outer, 4)
+	if got, want := len(e), 2*64*4/8; got != want {
+		t.Fatalf("encoded size = %d bytes, want %d", got, want)
+	}
+	e3 := Encode(geom.UnitCube(3), geom.UnitCube(3), 3)
+	if got, want := len(e3), (2*3*3+7)/8; got != want {
+		t.Fatalf("encoded size = %d bytes, want %d", got, want)
+	}
+}
+
+func TestDegenerateOuter(t *testing.T) {
+	outer := geom.NewRect(geom.Point{0.5, 0}, geom.Point{0.5, 1})
+	live := outer.Clone()
+	dec := Decode(outer, Encode(outer, live, 4), 4)
+	if !dec.ContainsRect(live) {
+		t.Fatalf("degenerate outer: decoded %v misses live %v", dec, live)
+	}
+}
+
+func TestTable(t *testing.T) {
+	outer := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	tab := NewTable(4)
+	if !tab.Enabled() || tab.Bits() != 4 {
+		t.Fatal("table misconfigured")
+	}
+	// Unknown id falls back to outer.
+	r, ok := tab.Get(7, outer)
+	if ok || !r.Equal(outer) {
+		t.Fatal("unknown id should return outer")
+	}
+	live := geom.NewRect(geom.Point{0.2, 0.2}, geom.Point{0.3, 0.3})
+	tab.Set(7, outer, live)
+	r, ok = tab.Get(7, outer)
+	if !ok || !r.ContainsRect(live) {
+		t.Fatalf("get = %v,%v", r, ok)
+	}
+	if r.Area() >= outer.Area() {
+		t.Fatal("encoded live rect should be tighter than outer")
+	}
+	if tab.MemoryBytes() != 2*2*4/8 {
+		t.Fatalf("memory = %d", tab.MemoryBytes())
+	}
+	tab.Delete(7)
+	if tab.Len() != 0 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestTableDisabled(t *testing.T) {
+	outer := geom.UnitCube(2)
+	tab := NewTable(0)
+	if tab.Enabled() {
+		t.Fatal("0 bits should disable")
+	}
+	tab.Set(1, outer, geom.NewRect(geom.Point{0.4, 0.4}, geom.Point{0.5, 0.5}))
+	r, ok := tab.Get(1, outer)
+	if ok || !r.Equal(outer) {
+		t.Fatal("disabled table must return outer")
+	}
+	tab.EnlargeToInclude(1, outer, geom.Point{0.9, 0.9})
+	if tab.Len() != 0 {
+		t.Fatal("disabled table must store nothing")
+	}
+}
+
+func TestTableBitsRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTable(17) should panic")
+		}
+	}()
+	NewTable(17)
+}
+
+func TestEnlargeToInclude(t *testing.T) {
+	outer := geom.UnitCube(2)
+	tab := NewTable(8)
+	p1 := geom.Point{0.25, 0.25}
+	p2 := geom.Point{0.75, 0.5}
+	tab.EnlargeToInclude(1, outer, p1)
+	r, _ := tab.Get(1, outer)
+	if !r.Contains(p1) {
+		t.Fatalf("live %v misses %v", r, p1)
+	}
+	tab.EnlargeToInclude(1, outer, p2)
+	r, _ = tab.Get(1, outer)
+	if !r.Contains(p1) || !r.Contains(p2) {
+		t.Fatalf("live %v misses a point", r)
+	}
+}
+
+// Property: decoded rectangle always contains the live rectangle and stays
+// inside outer, for random rects and precisions.
+func TestConservativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(16)
+		bits := 1 + rng.Intn(16)
+		olo, ohi := make(geom.Point, dim), make(geom.Point, dim)
+		llo, lhi := make(geom.Point, dim), make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			a, b := rng.Float32(), rng.Float32()
+			if a > b {
+				a, b = b, a
+			}
+			olo[d], ohi[d] = a, b
+			// live inside outer
+			u, v := rng.Float32(), rng.Float32()
+			if u > v {
+				u, v = v, u
+			}
+			llo[d] = a + u*(b-a)
+			lhi[d] = a + v*(b-a)
+		}
+		outer := geom.Rect{Lo: olo, Hi: ohi}
+		live := geom.Rect{Lo: llo, Hi: lhi}
+		dec := Decode(outer, Encode(outer, live, bits), bits)
+		return dec.ContainsRect(live) && outer.ContainsRect(dec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"hybridtree/internal/geom"
+)
+
+func ExampleBipartition() {
+	// Four children's subspaces projected onto a split dimension; the
+	// bipartition groups them to minimize overlap while giving each side
+	// at least two members.
+	segs := []geom.Segment{
+		{Lo: 0.0, Hi: 0.3, ID: 0},
+		{Lo: 0.1, Hi: 0.4, ID: 1},
+		{Lo: 0.6, Hi: 0.8, ID: 2},
+		{Lo: 0.7, Hi: 1.0, ID: 3},
+	}
+	left, right, lsp, rsp := geom.Bipartition(segs, 2)
+	fmt.Printf("left=%d right=%d lsp=%.1f rsp=%.1f overlap=%v\n",
+		len(left), len(right), lsp, rsp, lsp > rsp)
+	// Output:
+	// left=2 right=2 lsp=0.4 rsp=0.6 overlap=false
+}
+
+func ExampleRect_MinkowskiVolume() {
+	// The probability that a uniformly placed box query of side 0.1
+	// touches this region — the quantity the EDA split model minimizes.
+	r := geom.NewRect(geom.Point{0.2, 0.2}, geom.Point{0.4, 0.5})
+	fmt.Printf("%.2f\n", r.MinkowskiVolume(0.1))
+	// Output:
+	// 0.12
+}

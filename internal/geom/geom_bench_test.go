@@ -1,0 +1,63 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSegs(n int) []Segment {
+	rng := rand.New(rand.NewSource(1))
+	segs := make([]Segment, n)
+	for i := range segs {
+		a, b := rng.Float32(), rng.Float32()
+		if a > b {
+			a, b = b, a
+		}
+		segs[i] = Segment{Lo: a, Hi: b, ID: i}
+	}
+	return segs
+}
+
+func BenchmarkBipartition200(b *testing.B) {
+	segs := benchSegs(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bipartition(segs, 66)
+	}
+}
+
+func BenchmarkRectIntersects64d(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func() Rect {
+		lo := make(Point, 64)
+		hi := make(Point, 64)
+		for d := 0; d < 64; d++ {
+			x, y := rng.Float32(), rng.Float32()
+			if x > y {
+				x, y = y, x
+			}
+			lo[d], hi[d] = x, y
+		}
+		return Rect{Lo: lo, Hi: hi}
+	}
+	r1, r2 := mk(), mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1.Intersects(r2)
+	}
+}
+
+func BenchmarkMinkowskiVolume64d(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	lo := make(Point, 64)
+	hi := make(Point, 64)
+	for d := 0; d < 64; d++ {
+		lo[d] = rng.Float32() * 0.5
+		hi[d] = lo[d] + 0.2
+	}
+	r := Rect{Lo: lo, Hi: hi}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.MinkowskiVolume(0.1)
+	}
+}

@@ -1,0 +1,156 @@
+package geom
+
+import "sort"
+
+// Segment is a 1-d interval — the projection of a child's indexed subspace
+// onto a candidate split dimension. The hybrid tree's index-node split
+// (Section 3.3) bipartitions a set of segments so as to minimize the overlap
+// between the two groups without violating the utilization constraint.
+type Segment struct {
+	Lo, Hi float32
+	// ID identifies the child the segment was projected from.
+	ID int
+}
+
+// Bipartition divides segs into two groups following the paper's algorithm:
+// sort by left boundary (leftmost first) and by right boundary (rightmost
+// first), alternately draw from the two sorted lists into the left and right
+// groups respectively until each group holds at least minEach segments, then
+// place every remaining segment in the group needing the least elongation.
+//
+// It returns the index sets (positions into segs) of the two groups plus the
+// resulting split positions: lsp is the right boundary of the left group and
+// rsp the left boundary of the right group; lsp > rsp means the groups
+// overlap by lsp-rsp along this dimension.
+//
+// The whole procedure is O(n log n) — the 1-d analogue of the R-tree
+// quadratic bipartition, as the paper observes.
+func Bipartition(segs []Segment, minEach int) (left, right []int, lsp, rsp float32) {
+	n := len(segs)
+	if n < 2 {
+		panic("geom: Bipartition needs at least two segments")
+	}
+	if minEach < 1 {
+		minEach = 1
+	}
+	if 2*minEach > n {
+		minEach = n / 2
+	}
+
+	byLeft := make([]int, n)  // ascending left boundary
+	byRight := make([]int, n) // descending right boundary
+	for i := range segs {
+		byLeft[i], byRight[i] = i, i
+	}
+	sort.SliceStable(byLeft, func(a, b int) bool { return segs[byLeft[a]].Lo < segs[byLeft[b]].Lo })
+	sort.SliceStable(byRight, func(a, b int) bool { return segs[byRight[a]].Hi > segs[byRight[b]].Hi })
+
+	taken := make([]bool, n)
+	var li, ri int // cursors into byLeft / byRight
+
+	takeLeft := func() bool {
+		for li < n {
+			i := byLeft[li]
+			li++
+			if !taken[i] {
+				taken[i] = true
+				left = append(left, i)
+				return true
+			}
+		}
+		return false
+	}
+	takeRight := func() bool {
+		for ri < n {
+			i := byRight[ri]
+			ri++
+			if !taken[i] {
+				taken[i] = true
+				right = append(right, i)
+				return true
+			}
+		}
+		return false
+	}
+
+	// Alternate seeding until both groups meet the utilization constraint.
+	for len(left) < minEach || len(right) < minEach {
+		if len(left) < minEach && !takeLeft() {
+			break
+		}
+		if len(right) < minEach && !takeRight() {
+			break
+		}
+	}
+
+	// Current group boundaries along the split dimension.
+	groupHi := func(idx []int) float32 {
+		hi := segs[idx[0]].Hi
+		for _, i := range idx[1:] {
+			if segs[i].Hi > hi {
+				hi = segs[i].Hi
+			}
+		}
+		return hi
+	}
+	groupLo := func(idx []int) float32 {
+		lo := segs[idx[0]].Lo
+		for _, i := range idx[1:] {
+			if segs[i].Lo < lo {
+				lo = segs[i].Lo
+			}
+		}
+		return lo
+	}
+	lsp = groupHi(left)
+	rsp = groupLo(right)
+
+	// Distribute the remainder: each leftover segment goes to the group
+	// whose boundary it elongates least, utilization no longer a concern.
+	for i := 0; i < n; i++ {
+		if taken[i] {
+			continue
+		}
+		s := segs[i]
+		elongL := s.Hi - lsp // how far the left group's right edge must move
+		elongR := rsp - s.Lo // how far the right group's left edge must move
+		if elongL < 0 {
+			elongL = 0
+		}
+		if elongR < 0 {
+			elongR = 0
+		}
+		if elongL <= elongR {
+			left = append(left, i)
+			if s.Hi > lsp {
+				lsp = s.Hi
+			}
+		} else {
+			right = append(right, i)
+			if s.Lo < rsp {
+				rsp = s.Lo
+			}
+		}
+	}
+	return left, right, lsp, rsp
+}
+
+// SegmentOverlap returns the overlap amount w = max(0, lsp-rsp) produced by
+// bipartitioning segs with the given utilization minimum, without
+// materializing the groups. Used during split-dimension pre-selection.
+func SegmentOverlap(segs []Segment, minEach int) (w, extent float64) {
+	_, _, lsp, rsp := Bipartition(segs, minEach)
+	if lsp > rsp {
+		w = float64(lsp) - float64(rsp)
+	}
+	lo, hi := segs[0].Lo, segs[0].Hi
+	for _, s := range segs[1:] {
+		if s.Lo < lo {
+			lo = s.Lo
+		}
+		if s.Hi > hi {
+			hi = s.Hi
+		}
+	}
+	return w, float64(hi) - float64(lo)
+}

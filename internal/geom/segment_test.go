@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func segIDs(segs []Segment, idx []int) map[int]bool {
+	m := make(map[int]bool)
+	for _, i := range idx {
+		m[segs[i].ID] = true
+	}
+	return m
+}
+
+func TestBipartitionDisjointSegments(t *testing.T) {
+	// Four cleanly separable segments: a clean (overlap-free) split must be
+	// found, i.e. lsp <= rsp.
+	segs := []Segment{
+		{Lo: 0.0, Hi: 0.1, ID: 0},
+		{Lo: 0.2, Hi: 0.3, ID: 1},
+		{Lo: 0.6, Hi: 0.7, ID: 2},
+		{Lo: 0.8, Hi: 0.9, ID: 3},
+	}
+	left, right, lsp, rsp := Bipartition(segs, 2)
+	if len(left) != 2 || len(right) != 2 {
+		t.Fatalf("sizes = %d,%d, want 2,2", len(left), len(right))
+	}
+	if lsp > rsp {
+		t.Fatalf("expected overlap-free split, got lsp=%g > rsp=%g", lsp, rsp)
+	}
+	l, r := segIDs(segs, left), segIDs(segs, right)
+	if !l[0] || !l[1] || !r[2] || !r[3] {
+		t.Fatalf("wrong grouping: left=%v right=%v", l, r)
+	}
+}
+
+func TestBipartitionForcedOverlap(t *testing.T) {
+	// Three long segments all covering [0,1]: any bipartition overlaps fully.
+	segs := []Segment{
+		{Lo: 0, Hi: 1, ID: 0},
+		{Lo: 0, Hi: 1, ID: 1},
+		{Lo: 0, Hi: 1, ID: 2},
+	}
+	left, right, lsp, rsp := Bipartition(segs, 1)
+	if len(left)+len(right) != 3 || len(left) == 0 || len(right) == 0 {
+		t.Fatalf("bad group sizes %d,%d", len(left), len(right))
+	}
+	if lsp-rsp != 1 {
+		t.Fatalf("overlap = %g, want 1", lsp-rsp)
+	}
+}
+
+func TestBipartitionUtilization(t *testing.T) {
+	// Nine segments clustered at the left end plus one at the right: the
+	// utilization constraint must still give each side minEach members.
+	var segs []Segment
+	for i := 0; i < 9; i++ {
+		segs = append(segs, Segment{Lo: float32(i) * 0.01, Hi: float32(i)*0.01 + 0.005, ID: i})
+	}
+	segs = append(segs, Segment{Lo: 0.9, Hi: 0.95, ID: 9})
+	left, right, _, _ := Bipartition(segs, 4)
+	if len(left) < 4 || len(right) < 4 {
+		t.Fatalf("utilization violated: %d,%d", len(left), len(right))
+	}
+}
+
+func TestBipartitionPanicsOnTooFew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bipartition of 1 segment should panic")
+		}
+	}()
+	Bipartition([]Segment{{Lo: 0, Hi: 1}}, 1)
+}
+
+// Properties checked over random segment sets:
+//  1. every segment lands in exactly one group;
+//  2. lsp >= every left member's Hi is false — lsp is exactly the max Hi of
+//     the left group, and rsp exactly the min Lo of the right group;
+//  3. each group meets the utilization minimum;
+//  4. every left segment fits in (-inf, lsp] and every right segment in
+//     [rsp, +inf) — the containment the hybrid tree's mapped BRs rely on.
+func TestBipartitionProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		segs := make([]Segment, n)
+		for i := range segs {
+			a, b := rng.Float32(), rng.Float32()
+			if a > b {
+				a, b = b, a
+			}
+			segs[i] = Segment{Lo: a, Hi: b, ID: i}
+		}
+		minEach := 1 + rng.Intn(n/2)
+		left, right, lsp, rsp := Bipartition(segs, minEach)
+		if len(left)+len(right) != n {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, i := range append(append([]int{}, left...), right...) {
+			if seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		if len(left) < minEach || len(right) < minEach {
+			return false
+		}
+		maxHi := segs[left[0]].Hi
+		for _, i := range left {
+			if segs[i].Hi > lsp {
+				return false // left member sticks out past lsp
+			}
+			if segs[i].Hi > maxHi {
+				maxHi = segs[i].Hi
+			}
+		}
+		if maxHi != lsp {
+			return false // lsp must be tight
+		}
+		minLo := segs[right[0]].Lo
+		for _, i := range right {
+			if segs[i].Lo < rsp {
+				return false
+			}
+			if segs[i].Lo < minLo {
+				minLo = segs[i].Lo
+			}
+		}
+		return minLo == rsp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentOverlap(t *testing.T) {
+	segs := []Segment{
+		{Lo: 0, Hi: 0.6, ID: 0},
+		{Lo: 0.4, Hi: 1, ID: 1},
+	}
+	w, ext := SegmentOverlap(segs, 1)
+	if ext != 1 {
+		t.Fatalf("extent = %g, want 1", ext)
+	}
+	// The two segments overlap in [0.4,0.6]; splitting them apart costs
+	// w = 0.6-0.4 = 0.2.
+	if w < 0.19 || w > 0.21 {
+		t.Fatalf("overlap = %g, want ~0.2", w)
+	}
+}

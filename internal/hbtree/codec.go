@@ -1,0 +1,239 @@
+package hbtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// On-page layout (little endian). Header (8 bytes): magic 'B', node type
+// (0 data / 1 index), dim uint16, count uint16 (points or kd records),
+// forward count uint16. Forward entries are stored sparsely: only the
+// dimensions on which the departed region is tighter than the data space
+// are written, so a forward costs 6 + 10*constrainedDims bytes instead of
+// 8*dim.
+const (
+	headerSize     = 8
+	kdInternalSize = 11
+	kdLeafSize     = 5
+)
+
+func dataCapacity(cfg *Config) int {
+	return (cfg.PageSize - headerSize) / (8 + 4*cfg.Dim)
+}
+
+// serializedSize returns the encoded size of the node (reachable kd records
+// plus sparsely encoded forwards) relative to the given data space.
+func (n *node) serializedSize(dim int, space geom.Rect) int {
+	size := headerSize
+	if n.leaf {
+		size += len(n.pts) * (8 + 4*dim)
+	} else {
+		var walk func(idx int32)
+		walk = func(idx int32) {
+			k := &n.kd[idx]
+			if k.isLeaf() {
+				size += kdLeafSize
+				return
+			}
+			size += kdInternalSize
+			walk(k.Left)
+			walk(k.Right)
+		}
+		if n.root != kdNone {
+			walk(n.root)
+		}
+	}
+	c := codec{dim: dim, space: space}
+	for _, f := range n.fwd {
+		size += 6 + 10*c.constrained(f.rect)
+	}
+	return size
+}
+
+// codec serializes hB-tree nodes.
+type codec struct {
+	dim   int
+	space geom.Rect
+}
+
+func (c codec) constrained(r geom.Rect) int {
+	count := 0
+	for d := 0; d < c.dim; d++ {
+		if r.Lo[d] != c.space.Lo[d] || r.Hi[d] != c.space.Hi[d] {
+			count++
+		}
+	}
+	return count
+}
+
+// Encode implements nodestore.Codec.
+func (c codec) Encode(n *node, buf []byte) (int, error) {
+	if need := n.serializedSize(c.dim, c.space); need > len(buf) {
+		return 0, fmt.Errorf("hbtree: node %d needs %d bytes, page holds %d (forward list exhausted the page)", n.id, need, len(buf))
+	}
+	buf[0] = 'B'
+	binary.LittleEndian.PutUint16(buf[2:], uint16(c.dim))
+	binary.LittleEndian.PutUint16(buf[6:], uint16(len(n.fwd)))
+	off := headerSize
+
+	if n.leaf {
+		buf[1] = 0
+		binary.LittleEndian.PutUint16(buf[4:], uint16(len(n.pts)))
+		for i, p := range n.pts {
+			binary.LittleEndian.PutUint64(buf[off:], n.rids[i])
+			off += 8
+			for _, v := range p {
+				binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+				off += 4
+			}
+		}
+	} else {
+		buf[1] = 1
+		// Pre-order renumbering of reachable records.
+		renum := make(map[int32]uint16)
+		var order []int32
+		var number func(idx int32)
+		number = func(idx int32) {
+			renum[idx] = uint16(len(order))
+			order = append(order, idx)
+			k := &n.kd[idx]
+			if !k.isLeaf() {
+				number(k.Left)
+				number(k.Right)
+			}
+		}
+		if n.root != kdNone {
+			number(n.root)
+		}
+		binary.LittleEndian.PutUint16(buf[4:], uint16(len(order)))
+		for _, idx := range order {
+			k := &n.kd[idx]
+			if k.isLeaf() {
+				buf[off] = 1
+				binary.LittleEndian.PutUint32(buf[off+1:], uint32(k.Child))
+				off += kdLeafSize
+				continue
+			}
+			buf[off] = 0
+			binary.LittleEndian.PutUint16(buf[off+1:], k.Dim)
+			binary.LittleEndian.PutUint32(buf[off+3:], math.Float32bits(k.Val))
+			binary.LittleEndian.PutUint16(buf[off+7:], renum[k.Left])
+			binary.LittleEndian.PutUint16(buf[off+9:], renum[k.Right])
+			off += kdInternalSize
+		}
+	}
+
+	for _, f := range n.fwd {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(f.sibling))
+		off += 4
+		nc := c.constrained(f.rect)
+		binary.LittleEndian.PutUint16(buf[off:], uint16(nc))
+		off += 2
+		for d := 0; d < c.dim; d++ {
+			if f.rect.Lo[d] == c.space.Lo[d] && f.rect.Hi[d] == c.space.Hi[d] {
+				continue
+			}
+			binary.LittleEndian.PutUint16(buf[off:], uint16(d))
+			binary.LittleEndian.PutUint32(buf[off+2:], math.Float32bits(f.rect.Lo[d]))
+			binary.LittleEndian.PutUint32(buf[off+6:], math.Float32bits(f.rect.Hi[d]))
+			off += 10
+		}
+	}
+	return off, nil
+}
+
+// Decode implements nodestore.Codec.
+func (c codec) Decode(id pagefile.PageID, buf []byte) (*node, error) {
+	if len(buf) < headerSize || buf[0] != 'B' {
+		return nil, fmt.Errorf("hbtree: corrupt page %d", id)
+	}
+	if got := int(binary.LittleEndian.Uint16(buf[2:])); got != c.dim {
+		return nil, fmt.Errorf("hbtree: page %d dim %d, want %d", id, got, c.dim)
+	}
+	count := int(binary.LittleEndian.Uint16(buf[4:]))
+	nfwd := int(binary.LittleEndian.Uint16(buf[6:]))
+	n := &node{id: id, root: kdNone}
+	off := headerSize
+
+	switch buf[1] {
+	case 0:
+		if headerSize+count*(8+4*c.dim) > len(buf) {
+			return nil, fmt.Errorf("hbtree: page %d entry count exceeds page", id)
+		}
+		n.leaf = true
+		for i := 0; i < count; i++ {
+			n.rids = append(n.rids, binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+			p := make(geom.Point, c.dim)
+			for d := range p {
+				p[d] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+				off += 4
+			}
+			n.pts = append(n.pts, p)
+		}
+	case 1:
+		n.kd = make([]kdNode, count)
+		if count > 0 {
+			n.root = 0
+		}
+		for i := 0; i < count; i++ {
+			if off+kdInternalSize > len(buf) && (off >= len(buf) || buf[off] != 1 || off+kdLeafSize > len(buf)) {
+				return nil, fmt.Errorf("hbtree: page %d truncated kd records", id)
+			}
+			switch buf[off] {
+			case 1:
+				n.kd[i] = kdNode{Left: kdNone, Right: kdNone,
+					Child: pagefile.PageID(binary.LittleEndian.Uint32(buf[off+1:]))}
+				off += kdLeafSize
+			case 0:
+				left := int32(binary.LittleEndian.Uint16(buf[off+7:]))
+				right := int32(binary.LittleEndian.Uint16(buf[off+9:]))
+				// Pre-order layout: children must follow their parent, which
+				// rules out cycles and shared substructure.
+				if left >= int32(count) || right >= int32(count) || left <= int32(i) || right <= int32(i) {
+					return nil, fmt.Errorf("hbtree: page %d kd link out of pre-order range", id)
+				}
+				n.kd[i] = kdNode{
+					Dim:  binary.LittleEndian.Uint16(buf[off+1:]),
+					Val:  math.Float32frombits(binary.LittleEndian.Uint32(buf[off+3:])),
+					Left: left, Right: right,
+				}
+				off += kdInternalSize
+			default:
+				return nil, fmt.Errorf("hbtree: page %d bad kd tag", id)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("hbtree: page %d bad node type", id)
+	}
+
+	for i := 0; i < nfwd; i++ {
+		if off+6 > len(buf) {
+			return nil, fmt.Errorf("hbtree: page %d truncated forwards", id)
+		}
+		var f forward
+		f.sibling = pagefile.PageID(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		nc := int(binary.LittleEndian.Uint16(buf[off:]))
+		off += 2
+		if off+10*nc > len(buf) {
+			return nil, fmt.Errorf("hbtree: page %d truncated forward constraints", id)
+		}
+		f.rect = c.space.Clone()
+		for j := 0; j < nc; j++ {
+			d := int(binary.LittleEndian.Uint16(buf[off:]))
+			if d >= c.dim {
+				return nil, fmt.Errorf("hbtree: page %d forward dim out of range", id)
+			}
+			f.rect.Lo[d] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off+2:]))
+			f.rect.Hi[d] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off+6:]))
+			off += 10
+		}
+		n.fwd = append(n.fwd, f)
+	}
+	return n, nil
+}

@@ -1,0 +1,72 @@
+package index
+
+import (
+	"hybridtree/internal/core"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// Hybrid adapts core.Tree to the Index interface (the tree's own API uses
+// its richer result types).
+type Hybrid struct {
+	*core.Tree
+	// NameOverride lets the harness distinguish configurations of the same
+	// structure ("hybrid-vam", "hybrid-els0", ...).
+	NameOverride string
+}
+
+// Name implements Index.
+func (h *Hybrid) Name() string {
+	if h.NameOverride != "" {
+		return h.NameOverride
+	}
+	return "hybrid"
+}
+
+// Insert implements Index.
+func (h *Hybrid) Insert(p geom.Point, rid uint64) error {
+	return h.Tree.Insert(p, core.RecordID(rid))
+}
+
+// SearchBox implements Index.
+func (h *Hybrid) SearchBox(q geom.Rect) ([]Entry, error) {
+	es, err := h.Tree.SearchBox(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, len(es))
+	for i, e := range es {
+		out[i] = Entry{Point: e.Point, RID: uint64(e.RID)}
+	}
+	return out, nil
+}
+
+// SearchRange implements Index.
+func (h *Hybrid) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]Neighbor, error) {
+	ns, err := h.Tree.SearchRange(q, radius, m)
+	if err != nil {
+		return nil, err
+	}
+	return convertNeighbors(ns), nil
+}
+
+// SearchKNN implements Index.
+func (h *Hybrid) SearchKNN(q geom.Point, k int, m dist.Metric) ([]Neighbor, error) {
+	ns, err := h.Tree.SearchKNN(q, k, m)
+	if err != nil {
+		return nil, err
+	}
+	return convertNeighbors(ns), nil
+}
+
+func convertNeighbors(ns []core.Neighbor) []Neighbor {
+	out := make([]Neighbor, len(ns))
+	for i, n := range ns {
+		out[i] = Neighbor{Entry: Entry{Point: n.Point, RID: uint64(n.RID)}, Dist: n.Dist}
+	}
+	return out
+}
+
+// File implements Index.
+func (h *Hybrid) File() pagefile.File { return h.Tree.File() }

@@ -1,0 +1,49 @@
+// Package index defines the common interface the benchmark harness drives
+// every access method through: the hybrid tree, the SR-tree and hB-tree
+// competitors, the KDB-tree strawman, and sequential scan. Keeping the
+// harness against one interface is what makes the paper's "normalize
+// everything against linear scan" methodology (Section 4) mechanical.
+package index
+
+import (
+	"errors"
+
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// Entry is one stored (vector, record id) pair.
+type Entry struct {
+	Point geom.Point
+	RID   uint64
+}
+
+// Neighbor is an Entry annotated with its distance to a query.
+type Neighbor struct {
+	Entry
+	Dist float64
+}
+
+// ErrUnsupported is returned by access methods that do not implement a
+// query type — notably the hB-tree for distance-based queries, which the
+// paper excludes from Figure 7(c,d) for exactly this reason (footnote 2).
+var ErrUnsupported = errors.New("index: query type unsupported by this access method")
+
+// Index is a paginated multidimensional access method.
+type Index interface {
+	// Name identifies the method in reports ("hybrid", "sr", "hb", ...).
+	Name() string
+	// Insert adds one (vector, record id) pair.
+	Insert(p geom.Point, rid uint64) error
+	// SearchBox returns all entries inside q, boundaries inclusive.
+	SearchBox(q geom.Rect) ([]Entry, error)
+	// SearchRange returns all entries within radius of q under m, or
+	// ErrUnsupported.
+	SearchRange(q geom.Point, radius float64, m dist.Metric) ([]Neighbor, error)
+	// SearchKNN returns the k nearest entries to q under m, closest first,
+	// or ErrUnsupported.
+	SearchKNN(q geom.Point, k int, m dist.Metric) ([]Neighbor, error)
+	// File exposes the underlying page file for access accounting.
+	File() pagefile.File
+}

@@ -1,0 +1,79 @@
+// Package nodestore provides a generic decoded-node cache over a page file,
+// shared by the baseline access methods (SR-tree, hB-tree, KDB-tree). Like
+// the hybrid tree's store, it charges one logical random read per Get even
+// on a cache hit: the experiments count cold disk accesses, and caching is
+// only a construction-speed convenience that must not distort measurements.
+package nodestore
+
+import "hybridtree/internal/pagefile"
+
+// Codec serializes nodes of type N to and from page bytes.
+type Codec[N any] interface {
+	Encode(n N, buf []byte) (int, error)
+	Decode(id pagefile.PageID, buf []byte) (N, error)
+}
+
+// Store is a write-through decoded-node cache.
+type Store[N any] struct {
+	file  pagefile.File
+	codec Codec[N]
+	cache map[pagefile.PageID]N
+	buf   []byte
+}
+
+// New creates a store over file using codec.
+func New[N any](file pagefile.File, codec Codec[N]) *Store[N] {
+	return &Store[N]{
+		file:  file,
+		codec: codec,
+		cache: make(map[pagefile.PageID]N),
+		buf:   make([]byte, file.PageSize()),
+	}
+}
+
+// Get returns the decoded node, counting one logical random read.
+func (s *Store[N]) Get(id pagefile.PageID) (N, error) {
+	if n, ok := s.cache[id]; ok {
+		s.file.Stats().RandomReads++
+		return n, nil
+	}
+	var zero N
+	if err := s.file.ReadPage(id, s.buf); err != nil {
+		return zero, err
+	}
+	n, err := s.codec.Decode(id, s.buf)
+	if err != nil {
+		return zero, err
+	}
+	s.cache[id] = n
+	return n, nil
+}
+
+// Alloc reserves a fresh page id.
+func (s *Store[N]) Alloc() (pagefile.PageID, error) {
+	return s.file.Allocate()
+}
+
+// Put writes the node through to its page and caches it.
+func (s *Store[N]) Put(id pagefile.PageID, n N) error {
+	size, err := s.codec.Encode(n, s.buf)
+	if err != nil {
+		return err
+	}
+	if err := s.file.WritePage(id, s.buf[:size]); err != nil {
+		return err
+	}
+	s.cache[id] = n
+	return nil
+}
+
+// Free releases the node's page.
+func (s *Store[N]) Free(id pagefile.PageID) error {
+	delete(s.cache, id)
+	return s.file.Free(id)
+}
+
+// DropCache empties the decoded cache, forcing decodes on subsequent Gets.
+func (s *Store[N]) DropCache() {
+	s.cache = make(map[pagefile.PageID]N)
+}

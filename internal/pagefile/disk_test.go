@@ -1,0 +1,157 @@
+package pagefile
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenDiskFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reopen.db")
+	f, err := CreateDiskFile(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := f.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if err := f.WritePage(id, []byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDiskFile(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumPages() != 5 {
+		t.Fatalf("reopened pages = %d, want 5", re.NumPages())
+	}
+	buf := make([]byte, 256)
+	for i, id := range ids {
+		if err := re.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("page %d content = %d", id, buf[0])
+		}
+	}
+	// Allocation resumes past the end.
+	id, err := re.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 5 {
+		t.Fatalf("new allocation = %d, want 5", id)
+	}
+}
+
+func TestOpenDiskFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenDiskFile(filepath.Join(dir, "missing.db"), 256); err == nil {
+		t.Fatal("missing file opened")
+	}
+	// Size not a multiple of the page size.
+	ragged := filepath.Join(dir, "ragged.db")
+	if err := os.WriteFile(ragged, make([]byte, 300), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskFile(ragged, 256); err == nil {
+		t.Fatal("ragged file accepted")
+	}
+}
+
+func TestDiskFileErrorPaths(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "err.db")
+	f, err := CreateDiskFile(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := f.ReadPage(0, buf); !errors.Is(err, ErrPageBounds) {
+		t.Fatalf("oob read err = %v", err)
+	}
+	id, _ := f.Allocate()
+	if err := f.WritePage(id, make([]byte, 129)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize err = %v", err)
+	}
+	if err := f.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReadPageSeq(id, buf); !errors.Is(err, ErrPageFreed) {
+		t.Fatalf("freed read err = %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Allocate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed alloc err = %v", err)
+	}
+	if err := f.ReadPage(id, buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed read err = %v", err)
+	}
+}
+
+func TestBufferedFlushPropagatesErrors(t *testing.T) {
+	inner := NewMemFile(64)
+	fault := NewFaultFile(inner, 1<<30)
+	b := NewBuffered(fault, 8)
+	id, err := b.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WritePage(id, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fault.Remaining = 0
+	if err := b.Flush(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("flush err = %v, want ErrInjected", err)
+	}
+}
+
+func TestBufferedSeqReads(t *testing.T) {
+	inner := NewMemFile(64)
+	b := NewBuffered(inner, 2)
+	id, _ := b.Allocate()
+	_ = b.WritePage(id, []byte("hello"))
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Evict by touching two other pages.
+	id2, _ := b.Allocate()
+	id3, _ := b.Allocate()
+	_ = b.WritePage(id2, []byte("a"))
+	_ = b.WritePage(id3, []byte("b"))
+	buf := make([]byte, 64)
+	inner.Stats().Reset()
+	b.Stats().Reset()
+	if err := b.ReadPageSeq(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:5], []byte("hello")) {
+		t.Fatal("content mismatch after eviction")
+	}
+	if b.Stats().SeqReads != 1 {
+		t.Fatalf("buffered seq misses = %d, want 1", b.Stats().SeqReads)
+	}
+	if b.NumPages() != 3 || b.PageSize() != 64 {
+		t.Fatal("passthrough accessors wrong")
+	}
+	// Free drops the buffered copy.
+	if err := b.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ReadPage(id, buf); !errors.Is(err, ErrPageFreed) {
+		t.Fatalf("freed read err = %v", err)
+	}
+}

@@ -1,0 +1,70 @@
+package pagefile
+
+import "errors"
+
+// ErrInjected is the error produced by a FaultFile when its fuse burns.
+var ErrInjected = errors.New("pagefile: injected fault")
+
+// FaultFile wraps a File and fails operations once a countdown of successful
+// operations is exhausted. It exists for failure-injection tests: index
+// structures must surface storage errors to their callers, never swallow
+// them or corrupt in-memory state.
+type FaultFile struct {
+	File
+	// Remaining is the number of operations allowed to succeed before every
+	// subsequent operation fails with ErrInjected.
+	Remaining int
+}
+
+// NewFaultFile wraps inner; the first n operations succeed, the rest fail.
+func NewFaultFile(inner File, n int) *FaultFile {
+	return &FaultFile{File: inner, Remaining: n}
+}
+
+func (f *FaultFile) spend() error {
+	if f.Remaining <= 0 {
+		return ErrInjected
+	}
+	f.Remaining--
+	return nil
+}
+
+// ReadPage implements File with fault injection.
+func (f *FaultFile) ReadPage(id PageID, buf []byte) error {
+	if err := f.spend(); err != nil {
+		return err
+	}
+	return f.File.ReadPage(id, buf)
+}
+
+// ReadPageSeq implements File with fault injection.
+func (f *FaultFile) ReadPageSeq(id PageID, buf []byte) error {
+	if err := f.spend(); err != nil {
+		return err
+	}
+	return f.File.ReadPageSeq(id, buf)
+}
+
+// WritePage implements File with fault injection.
+func (f *FaultFile) WritePage(id PageID, data []byte) error {
+	if err := f.spend(); err != nil {
+		return err
+	}
+	return f.File.WritePage(id, data)
+}
+
+// Allocate implements File with fault injection.
+func (f *FaultFile) Allocate() (PageID, error) {
+	if err := f.spend(); err != nil {
+		return InvalidPage, err
+	}
+	return f.File.Allocate()
+}
+
+// Free implements File with fault injection.
+func (f *FaultFile) Free(id PageID) error {
+	if err := f.spend(); err != nil {
+		return err
+	}
+	return f.File.Free(id)
+}

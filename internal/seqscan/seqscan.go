@@ -1,0 +1,162 @@
+// Package seqscan implements the linear-scan baseline of the paper's
+// evaluation. Beyond 10-15 dimensions most index structures lose to simply
+// reading the whole file sequentially [Beyer et al.]; the paper therefore
+// normalizes every method's I/O cost against a scan, charging sequential
+// pages one tenth of a random page, so linear scan's normalized I/O cost is
+// 0.1 by construction and any index above that line is losing.
+package seqscan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/index"
+	"hybridtree/internal/pagefile"
+	"hybridtree/internal/pqueue"
+)
+
+// Scan is a flat file of (vector, record id) entries read sequentially.
+type Scan struct {
+	file     pagefile.File
+	dim      int
+	pages    []pagefile.PageID
+	perPage  int
+	lastFill int // entries on the final page
+	count    int
+	buf      []byte // scratch page buffer
+}
+
+// page layout: count uint16, then entries of (rid uint64, dim float32s).
+const headerSize = 2
+
+// New creates an empty scan file for dim-dimensional vectors.
+func New(file pagefile.File, dim int) (*Scan, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("seqscan: dim must be >= 1, got %d", dim)
+	}
+	perPage := (file.PageSize() - headerSize) / (8 + 4*dim)
+	if perPage < 1 {
+		return nil, fmt.Errorf("seqscan: page size %d cannot hold a %d-d entry", file.PageSize(), dim)
+	}
+	return &Scan{file: file, dim: dim, perPage: perPage, buf: make([]byte, file.PageSize())}, nil
+}
+
+// Name implements index.Index.
+func (s *Scan) Name() string { return "scan" }
+
+// File implements index.Index.
+func (s *Scan) File() pagefile.File { return s.file }
+
+// NumPages returns the number of data pages — the denominator of the
+// paper's normalized I/O cost for every access method over this dataset.
+func (s *Scan) NumPages() int { return len(s.pages) }
+
+// Len returns the number of stored entries.
+func (s *Scan) Len() int { return s.count }
+
+// Insert implements index.Index: entries append to the last page.
+func (s *Scan) Insert(p geom.Point, rid uint64) error {
+	if len(p) != s.dim {
+		return fmt.Errorf("seqscan: vector has dim %d, want %d", len(p), s.dim)
+	}
+	if len(s.pages) == 0 || s.lastFill == s.perPage {
+		id, err := s.file.Allocate()
+		if err != nil {
+			return err
+		}
+		s.pages = append(s.pages, id)
+		s.lastFill = 0
+	}
+	id := s.pages[len(s.pages)-1]
+	buf := s.buf
+	if err := s.file.ReadPageSeq(id, buf); err != nil {
+		return err
+	}
+	off := headerSize + s.lastFill*(8+4*s.dim)
+	binary.LittleEndian.PutUint64(buf[off:], rid)
+	off += 8
+	for _, v := range p {
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+		off += 4
+	}
+	s.lastFill++
+	s.count++
+	binary.LittleEndian.PutUint16(buf, uint16(s.lastFill))
+	return s.file.WritePage(id, buf[:off])
+}
+
+// scan streams every entry through fn, counting sequential reads. The point
+// passed to fn is a scratch buffer valid only for the duration of the call;
+// callbacks that keep it must Clone it.
+func (s *Scan) scan(fn func(p geom.Point, rid uint64)) error {
+	buf := make([]byte, s.file.PageSize())
+	p := make(geom.Point, s.dim)
+	for _, id := range s.pages {
+		if err := s.file.ReadPageSeq(id, buf); err != nil {
+			return err
+		}
+		n := int(binary.LittleEndian.Uint16(buf))
+		off := headerSize
+		for i := 0; i < n; i++ {
+			rid := binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+			for d := 0; d < s.dim; d++ {
+				p[d] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+				off += 4
+			}
+			fn(p, rid)
+		}
+	}
+	return nil
+}
+
+// SearchBox implements index.Index.
+func (s *Scan) SearchBox(q geom.Rect) ([]index.Entry, error) {
+	if q.Dim() != s.dim {
+		return nil, fmt.Errorf("seqscan: query has dim %d, want %d", q.Dim(), s.dim)
+	}
+	var out []index.Entry
+	err := s.scan(func(p geom.Point, rid uint64) {
+		if q.Contains(p) {
+			out = append(out, index.Entry{Point: p.Clone(), RID: rid})
+		}
+	})
+	return out, err
+}
+
+// SearchRange implements index.Index.
+func (s *Scan) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]index.Neighbor, error) {
+	if len(q) != s.dim {
+		return nil, fmt.Errorf("seqscan: query has dim %d, want %d", len(q), s.dim)
+	}
+	var out []index.Neighbor
+	err := s.scan(func(p geom.Point, rid uint64) {
+		if d := m.Distance(q, p); d <= radius {
+			out = append(out, index.Neighbor{Entry: index.Entry{Point: p.Clone(), RID: rid}, Dist: d})
+		}
+	})
+	return out, err
+}
+
+// SearchKNN implements index.Index.
+func (s *Scan) SearchKNN(q geom.Point, k int, m dist.Metric) ([]index.Neighbor, error) {
+	if len(q) != s.dim {
+		return nil, fmt.Errorf("seqscan: query has dim %d, want %d", len(q), s.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("seqscan: k must be >= 1, got %d", k)
+	}
+	best := pqueue.NewKBest[index.Neighbor](k)
+	err := s.scan(func(p geom.Point, rid uint64) {
+		d := m.Distance(q, p)
+		best.Offer(index.Neighbor{Entry: index.Entry{Point: p.Clone(), RID: rid}, Dist: d}, d)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ns, _ := best.Sorted()
+	return ns, nil
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"hybridtree/internal/dataset"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+)
+
+func selectivityOf(data []geom.Point, queries []geom.Rect) float64 {
+	total := 0
+	for _, q := range queries {
+		for _, p := range data {
+			if q.Contains(p) {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(len(queries)) / float64(len(data))
+}
+
+func TestBoxQueriesHitTarget(t *testing.T) {
+	data := dataset.ColHist(8000, 16, 21)
+	target := ColHistSelectivity
+	queries, side, err := BoxQueries(data, 40, target, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 40 {
+		t.Fatalf("got %d queries", len(queries))
+	}
+	if side <= 0 || side > 1.5 {
+		t.Fatalf("implausible side %g", side)
+	}
+	got := selectivityOf(data, queries)
+	if got < target/4 || got > target*4 {
+		t.Fatalf("selectivity %g, want within 4x of %g", got, target)
+	}
+}
+
+func TestBoxQueriesFourier(t *testing.T) {
+	data := dataset.Fourier(8000, 8, 23)
+	target := FourierSelectivity
+	queries, _, err := BoxQueries(data, 40, target, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := selectivityOf(data, queries)
+	// 0.07% of 8000 is ~6 matches/query; sampling noise is large, allow a
+	// generous band but require the right order of magnitude.
+	if got < target/6 || got > target*6 {
+		t.Fatalf("selectivity %g, want near %g", got, target)
+	}
+}
+
+func TestRangeQueriesHitTarget(t *testing.T) {
+	data := dataset.ColHist(6000, 32, 29)
+	target := ColHistSelectivity
+	m := dist.L1()
+	queries, radius, err := RangeQueries(data, 40, target, m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if radius <= 0 {
+		t.Fatalf("radius = %g", radius)
+	}
+	total := 0
+	for _, q := range queries {
+		for _, p := range data {
+			if m.Distance(q.Center, p) <= q.Radius {
+				total++
+			}
+		}
+	}
+	got := float64(total) / float64(len(queries)) / float64(len(data))
+	if got < target/4 || got > target*4 {
+		t.Fatalf("selectivity %g, want within 4x of %g", got, target)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	data := dataset.ColHist(100, 16, 1)
+	if _, _, err := BoxQueries(nil, 5, 0.01, 1); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, _, err := BoxQueries(data, 0, 0.01, 1); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+	if _, _, err := BoxQueries(data, 5, 0, 1); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+	if _, _, err := RangeQueries(data, 5, 1.5, dist.L1(), 1); err == nil {
+		t.Fatal("target >= 1 accepted")
+	}
+}
+
+func TestQueriesInsideSpace(t *testing.T) {
+	data := dataset.ColHist(2000, 16, 31)
+	queries, _, err := BoxQueries(data, 30, 0.01, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := geom.UnitCube(16)
+	for _, q := range queries {
+		if !cube.ContainsRect(q) {
+			t.Fatalf("query %v escapes the unit cube", q)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	data := dataset.ColHist(2000, 16, 33)
+	q1, s1, _ := BoxQueries(data, 10, 0.01, 99)
+	q2, s2, _ := BoxQueries(data, 10, 0.01, 99)
+	if s1 != s2 {
+		t.Fatal("sides differ for same seed")
+	}
+	for i := range q1 {
+		if !q1[i].Equal(q2[i]) {
+			t.Fatal("queries differ for same seed")
+		}
+	}
+}

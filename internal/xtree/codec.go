@@ -1,0 +1,166 @@
+package xtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// Page layout (little endian): magic 'X', node type (0 leaf / 1 directory),
+// dim uint16, count uint16 (entries in this page), next uint32 (the
+// continuation page of a supernode chain, or none). A supernode is simply a
+// node whose entries spill across a chain of pages; loading it reads — and
+// is charged for — every page of the chain.
+const noNext = uint32(0xFFFFFFFF)
+
+// put writes the node across its page chain.
+func (t *Tree) put(n *node) error {
+	perPage := t.cfg.nodeCap()
+	if n.leaf {
+		perPage = t.cfg.leafCap()
+	}
+	count := len(n.ents)
+	if n.leaf {
+		count = len(n.pts)
+	}
+	pages := append([]pagefile.PageID{n.id}, n.chain...)
+	need := (count + perPage - 1) / perPage
+	if need == 0 {
+		need = 1
+	}
+	if need > len(pages) {
+		return fmt.Errorf("xtree: node %d needs %d pages, has %d", n.id, need, len(pages))
+	}
+
+	start := 0
+	for pi, page := range pages {
+		end := start + perPage
+		if end > count {
+			end = count
+		}
+		buf := t.buf
+		for i := range buf {
+			buf[i] = 0
+		}
+		buf[0] = 'X'
+		if n.leaf {
+			buf[1] = 0
+		} else {
+			buf[1] = 1
+		}
+		binary.LittleEndian.PutUint16(buf[2:], uint16(t.cfg.Dim))
+		binary.LittleEndian.PutUint16(buf[4:], uint16(end-start))
+		next := noNext
+		if pi+1 < len(pages) {
+			next = uint32(pages[pi+1])
+		}
+		binary.LittleEndian.PutUint32(buf[6:], next)
+		off := headerSize
+		if n.leaf {
+			for i := start; i < end; i++ {
+				binary.LittleEndian.PutUint64(buf[off:], n.rids[i])
+				off += 8
+				for _, v := range n.pts[i] {
+					binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+					off += 4
+				}
+			}
+		} else {
+			for i := start; i < end; i++ {
+				binary.LittleEndian.PutUint32(buf[off:], uint32(n.ents[i].child))
+				off += 4
+				for _, v := range n.ents[i].rect.Lo {
+					binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+					off += 4
+				}
+				for _, v := range n.ents[i].rect.Hi {
+					binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+					off += 4
+				}
+			}
+		}
+		if err := t.file.WritePage(page, buf[:off]); err != nil {
+			return err
+		}
+		start = end
+	}
+	t.cache[n.id] = n
+	return nil
+}
+
+// load reads a node and its whole supernode chain, one counted page read
+// per page.
+func (t *Tree) load(id pagefile.PageID) (*node, error) {
+	n := &node{id: id}
+	page := id
+	first := true
+	for {
+		if err := t.file.ReadPage(page, t.buf); err != nil {
+			return nil, err
+		}
+		buf := t.buf
+		if buf[0] != 'X' {
+			return nil, fmt.Errorf("xtree: corrupt page %d", page)
+		}
+		leaf := buf[1] == 0
+		if first {
+			n.leaf = leaf
+		} else if leaf != n.leaf {
+			return nil, fmt.Errorf("xtree: page %d chain kind mismatch", page)
+		}
+		if got := int(binary.LittleEndian.Uint16(buf[2:])); got != t.cfg.Dim {
+			return nil, fmt.Errorf("xtree: page %d dim %d, want %d", page, got, t.cfg.Dim)
+		}
+		count := int(binary.LittleEndian.Uint16(buf[4:]))
+		next := binary.LittleEndian.Uint32(buf[6:])
+		off := headerSize
+		if n.leaf {
+			if off+count*(8+4*t.cfg.Dim) > len(buf) {
+				return nil, fmt.Errorf("xtree: page %d entry count exceeds page", page)
+			}
+			for i := 0; i < count; i++ {
+				n.rids = append(n.rids, binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+				p := make(geom.Point, t.cfg.Dim)
+				for d := range p {
+					p[d] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+					off += 4
+				}
+				n.pts = append(n.pts, p)
+			}
+		} else {
+			if off+count*(4+8*t.cfg.Dim) > len(buf) {
+				return nil, fmt.Errorf("xtree: page %d entry count exceeds page", page)
+			}
+			for i := 0; i < count; i++ {
+				var e entry
+				e.child = pagefile.PageID(binary.LittleEndian.Uint32(buf[off:]))
+				off += 4
+				e.rect = geom.Rect{Lo: make(geom.Point, t.cfg.Dim), Hi: make(geom.Point, t.cfg.Dim)}
+				for d := range e.rect.Lo {
+					e.rect.Lo[d] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+					off += 4
+				}
+				for d := range e.rect.Hi {
+					e.rect.Hi[d] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+					off += 4
+				}
+				n.ents = append(n.ents, e)
+			}
+		}
+		if !first {
+			n.chain = append(n.chain, page)
+		}
+		first = false
+		if next == noNext {
+			return n, nil
+		}
+		if len(n.chain) > 1024 {
+			return nil, fmt.Errorf("xtree: page %d chain too long (corrupt link?)", id)
+		}
+		page = pagefile.PageID(next)
+	}
+}

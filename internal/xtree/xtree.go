@@ -1,0 +1,603 @@
+// Package xtree implements the X-tree of Berchtold, Keim and Kriegel
+// (VLDB 1996), the other data-partitioning structure the paper's
+// classification names alongside the R-tree. The X-tree is an R-tree that
+// refuses to perform high-overlap directory splits: when every split of an
+// overflowing directory node would make its children overlap beyond a
+// threshold, the node instead becomes a *supernode* spanning several disk
+// pages, trading fanout for overlap-free descent. Supernodes are stored as
+// page chains here, so reading one honestly costs one page access per
+// page of the chain.
+package xtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/index"
+	"hybridtree/internal/pagefile"
+	"hybridtree/internal/pqueue"
+)
+
+// Config controls tree geometry.
+type Config struct {
+	Dim      int
+	PageSize int
+	// MinFill is the minimum fill fraction enforced by splits; default 0.4.
+	MinFill float64
+	// MaxOverlap is the overlap fraction (overlap volume / union volume of
+	// the two halves) beyond which a directory split is rejected and the
+	// node becomes a supernode; default 0.2, the X-tree paper's setting.
+	MaxOverlap float64
+}
+
+// entry is one directory entry: a child page and its minimum bounding
+// rectangle.
+type entry struct {
+	child pagefile.PageID
+	rect  geom.Rect
+}
+
+type node struct {
+	id   pagefile.PageID
+	leaf bool
+	pts  []geom.Point
+	rids []uint64
+	ents []entry
+	// chain lists the continuation pages of a supernode (empty for
+	// single-page nodes).
+	chain []pagefile.PageID
+}
+
+// Tree is an X-tree over a page file.
+type Tree struct {
+	cfg    Config
+	file   pagefile.File
+	cache  map[pagefile.PageID]*node
+	buf    []byte
+	root   pagefile.PageID
+	height int
+	size   int
+}
+
+const headerSize = 12 // magic, type, dim u16, count u16, next u32, pad
+
+func (cfg *Config) leafCap() int { return (cfg.PageSize - headerSize) / (8 + 4*cfg.Dim) }
+func (cfg *Config) nodeCap() int { return (cfg.PageSize - headerSize) / (8*cfg.Dim + 4) }
+
+// New creates an empty X-tree on file.
+func New(file pagefile.File, cfg Config) (*Tree, error) {
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("xtree: dim must be >= 1, got %d", cfg.Dim)
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = file.PageSize()
+	}
+	if cfg.PageSize != file.PageSize() {
+		return nil, fmt.Errorf("xtree: page size %d != file page size %d", cfg.PageSize, file.PageSize())
+	}
+	if cfg.MinFill == 0 {
+		cfg.MinFill = 0.4
+	}
+	if cfg.MaxOverlap == 0 {
+		cfg.MaxOverlap = 0.2
+	}
+	if cfg.leafCap() < 2 || cfg.nodeCap() < 2 {
+		return nil, fmt.Errorf("xtree: page size %d too small for %d dimensions", cfg.PageSize, cfg.Dim)
+	}
+	t := &Tree{cfg: cfg, file: file,
+		cache: make(map[pagefile.PageID]*node),
+		buf:   make([]byte, cfg.PageSize)}
+	root := &node{leaf: true}
+	id, err := t.alloc()
+	if err != nil {
+		return nil, err
+	}
+	root.id = id
+	if err := t.put(root); err != nil {
+		return nil, err
+	}
+	t.root = id
+	t.height = 1
+	return t, nil
+}
+
+func (t *Tree) alloc() (pagefile.PageID, error) { return t.file.Allocate() }
+
+// get loads a node, charging one logical read per page of its chain (the
+// honest cost of a supernode).
+func (t *Tree) get(id pagefile.PageID) (*node, error) {
+	if n, ok := t.cache[id]; ok {
+		t.file.Stats().RandomReads += 1 + uint64(len(n.chain))
+		return n, nil
+	}
+	n, err := t.load(id)
+	if err != nil {
+		return nil, err
+	}
+	t.cache[id] = n
+	return n, nil
+}
+
+// Name implements index.Index.
+func (t *Tree) Name() string { return "x" }
+
+// File implements index.Index.
+func (t *Tree) File() pagefile.File { return t.file }
+
+// Size returns the number of stored entries.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the tree height (1 = root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Insert implements index.Index.
+func (t *Tree) Insert(p geom.Point, rid uint64) error {
+	if len(p) != t.cfg.Dim {
+		return fmt.Errorf("xtree: vector has dim %d, want %d", len(p), t.cfg.Dim)
+	}
+	sp, err := t.insertAt(t.root, p.Clone(), rid)
+	if err != nil {
+		return err
+	}
+	if sp != nil {
+		root := &node{ents: []entry{sp.left, sp.right}}
+		id, err := t.alloc()
+		if err != nil {
+			return err
+		}
+		root.id = id
+		if err := t.put(root); err != nil {
+			return err
+		}
+		t.root = id
+		t.height++
+	}
+	t.size++
+	return nil
+}
+
+type splitPair struct{ left, right entry }
+
+func (t *Tree) insertAt(id pagefile.PageID, p geom.Point, rid uint64) (*splitPair, error) {
+	n, err := t.get(id)
+	if err != nil {
+		return nil, err
+	}
+	if n.leaf {
+		n.pts = append(n.pts, p)
+		n.rids = append(n.rids, rid)
+		if len(n.pts) > t.cfg.leafCap() {
+			return t.splitLeaf(n)
+		}
+		return nil, t.put(n)
+	}
+
+	// R-tree ChooseSubtree: minimum area enlargement, ties by area.
+	best, bestEnl, bestArea := 0, math.Inf(1), math.Inf(1)
+	for i := range n.ents {
+		enl := n.ents[i].rect.EnlargementArea(p)
+		area := n.ents[i].rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	n.ents[best].rect.Enlarge(p)
+	sp, err := t.insertAt(n.ents[best].child, p, rid)
+	if err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		n.ents[best] = sp.left
+		n.ents = append(n.ents, sp.right)
+		if len(n.ents) > t.dirCapacity(n) {
+			return t.splitDir(n)
+		}
+	}
+	return nil, t.put(n)
+}
+
+// dirCapacity is the entry budget of a directory node: one page's worth
+// normally, the chain's worth for a supernode.
+func (t *Tree) dirCapacity(n *node) int {
+	return t.cfg.nodeCap() * (1 + len(n.chain))
+}
+
+// splitLeaf splits an overflowing leaf with the R*-style axis/ distribution
+// choice: minimum-margin axis, then minimum-overlap distribution.
+func (t *Tree) splitLeaf(n *node) (*splitPair, error) {
+	order, cut := chooseSplit(len(n.pts), t.cfg.Dim, t.minLeaf(), func(i int, d int) float32 {
+		return n.pts[i][d]
+	}, func(idx []int) geom.Rect {
+		r := geom.Rect{Lo: n.pts[idx[0]].Clone(), Hi: n.pts[idx[0]].Clone()}
+		for _, i := range idx[1:] {
+			r.Enlarge(n.pts[i])
+		}
+		return r
+	})
+	right := &node{leaf: true}
+	id, err := t.alloc()
+	if err != nil {
+		return nil, err
+	}
+	right.id = id
+	var lp []geom.Point
+	var lr []uint64
+	for _, i := range order[:cut] {
+		lp = append(lp, n.pts[i])
+		lr = append(lr, n.rids[i])
+	}
+	for _, i := range order[cut:] {
+		right.pts = append(right.pts, n.pts[i])
+		right.rids = append(right.rids, n.rids[i])
+	}
+	n.pts, n.rids = lp, lr
+	if err := t.put(n); err != nil {
+		return nil, err
+	}
+	if err := t.put(right); err != nil {
+		return nil, err
+	}
+	return &splitPair{
+		left:  entry{child: n.id, rect: geom.BoundingRect(n.pts)},
+		right: entry{child: right.id, rect: geom.BoundingRect(right.pts)},
+	}, nil
+}
+
+// splitDir splits an overflowing directory node — unless every candidate
+// split overlaps beyond MaxOverlap, in which case the node grows into (or
+// extends) a supernode: the X-tree's defining move.
+func (t *Tree) splitDir(n *node) (*splitPair, error) {
+	order, cut := chooseSplit(len(n.ents), t.cfg.Dim, t.minNode(), func(i int, d int) float32 {
+		return (n.ents[i].rect.Lo[d] + n.ents[i].rect.Hi[d]) / 2
+	}, func(idx []int) geom.Rect {
+		r := n.ents[idx[0]].rect.Clone()
+		for _, i := range idx[1:] {
+			r.EnlargeRect(n.ents[i].rect)
+		}
+		return r
+	})
+
+	// Overlap test of the chosen (best) distribution. Volume ratios are
+	// useless in high dimensions (every intersection volume is ~0), so —
+	// like the X-tree paper, which defines overlap by the data falling
+	// into multiple regions — we measure the fraction of children whose
+	// own region straddles the other half's MBR.
+	mbr := func(idx []int) geom.Rect {
+		r := n.ents[idx[0]].rect.Clone()
+		for _, i := range idx[1:] {
+			r.EnlargeRect(n.ents[i].rect)
+		}
+		return r
+	}
+	lm, rm := mbr(order[:cut]), mbr(order[cut:])
+	straddling := 0
+	for _, i := range order[:cut] {
+		if n.ents[i].rect.Intersects(rm) {
+			straddling++
+		}
+	}
+	for _, i := range order[cut:] {
+		if n.ents[i].rect.Intersects(lm) {
+			straddling++
+		}
+	}
+	overlapFrac := float64(straddling) / float64(len(n.ents))
+	if overlapFrac > t.cfg.MaxOverlap {
+		// Supernode: extend the chain by one page instead of splitting.
+		extra, err := t.alloc()
+		if err != nil {
+			return nil, err
+		}
+		n.chain = append(n.chain, extra)
+		return nil, t.put(n)
+	}
+
+	right := &node{}
+	id, err := t.alloc()
+	if err != nil {
+		return nil, err
+	}
+	right.id = id
+	var le []entry
+	for _, i := range order[:cut] {
+		le = append(le, n.ents[i])
+	}
+	for _, i := range order[cut:] {
+		right.ents = append(right.ents, n.ents[i])
+	}
+	// A split supernode sheds chain pages it no longer needs, and its
+	// right half may itself still exceed one page.
+	if err := t.shrinkChain(n, len(le)); err != nil {
+		return nil, err
+	}
+	n.ents = le
+	if err := t.ensureChain(right, len(right.ents)); err != nil {
+		return nil, err
+	}
+	if err := t.put(n); err != nil {
+		return nil, err
+	}
+	if err := t.put(right); err != nil {
+		return nil, err
+	}
+	return &splitPair{
+		left:  entry{child: n.id, rect: lm},
+		right: entry{child: right.id, rect: rm},
+	}, nil
+}
+
+// ensureChain grows a directory node's chain until count entries fit.
+func (t *Tree) ensureChain(n *node, count int) error {
+	need := 0
+	if count > t.cfg.nodeCap() {
+		need = (count - 1) / t.cfg.nodeCap()
+	}
+	for len(n.chain) < need {
+		extra, err := t.alloc()
+		if err != nil {
+			return err
+		}
+		n.chain = append(n.chain, extra)
+	}
+	return nil
+}
+
+// shrinkChain frees continuation pages beyond what count entries need.
+func (t *Tree) shrinkChain(n *node, count int) error {
+	need := 0
+	if count > t.cfg.nodeCap() {
+		need = (count - 1) / t.cfg.nodeCap()
+	}
+	for len(n.chain) > need {
+		last := n.chain[len(n.chain)-1]
+		n.chain = n.chain[:len(n.chain)-1]
+		if err := t.file.Free(last); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Tree) minLeaf() int {
+	m := int(t.cfg.MinFill * float64(t.cfg.leafCap()))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+func (t *Tree) minNode() int {
+	m := int(t.cfg.MinFill * float64(t.cfg.nodeCap()))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// chooseSplit implements the R*-tree axis and distribution choice over
+// abstract items: pick the axis with minimum margin sum over candidate
+// distributions, then the distribution with minimum overlap (ties by total
+// area). Prefix/suffix cover arrays keep each axis O(n·dim) — essential
+// once supernodes push n into the thousands. Returns the item order and
+// the cut index.
+func chooseSplit(count, dim, minFill int, coord func(i, d int) float32, cover func(idx []int) geom.Rect) ([]int, int) {
+	if 2*minFill > count {
+		minFill = count / 2
+	}
+	if minFill < 1 {
+		minFill = 1
+	}
+	covers := func(order []int) (prefix, suffix []geom.Rect) {
+		prefix = make([]geom.Rect, count)
+		suffix = make([]geom.Rect, count)
+		prefix[0] = cover(order[:1])
+		for i := 1; i < count; i++ {
+			r := prefix[i-1].Clone()
+			r.EnlargeRect(cover(order[i : i+1]))
+			prefix[i] = r
+		}
+		suffix[count-1] = cover(order[count-1:])
+		for i := count - 2; i >= 0; i-- {
+			r := suffix[i+1].Clone()
+			r.EnlargeRect(cover(order[i : i+1]))
+			suffix[i] = r
+		}
+		return prefix, suffix
+	}
+
+	bestAxis, bestMargin := 0, math.Inf(1)
+	for d := 0; d < dim; d++ {
+		order := sortedBy(count, d, coord)
+		prefix, suffix := covers(order)
+		margin := 0.0
+		for cut := minFill; cut <= count-minFill; cut++ {
+			margin += prefix[cut-1].Margin() + suffix[cut].Margin()
+		}
+		if margin < bestMargin {
+			bestAxis, bestMargin = d, margin
+		}
+	}
+	order := sortedBy(count, bestAxis, coord)
+	prefix, suffix := covers(order)
+	bestCut, bestOverlap, bestArea := minFill, math.Inf(1), math.Inf(1)
+	for cut := minFill; cut <= count-minFill; cut++ {
+		lm, rm := prefix[cut-1], suffix[cut]
+		inter := lm.Intersect(rm)
+		ov := 0.0
+		if !inter.IsEmpty() {
+			ov = inter.Area()
+		}
+		area := lm.Area() + rm.Area()
+		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestCut, bestOverlap, bestArea = cut, ov, area
+		}
+	}
+	return order, bestCut
+}
+
+func sortedBy(count, d int, coord func(i, d int) float32) []int {
+	order := make([]int, count)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return coord(order[a], d) < coord(order[b], d) })
+	return order
+}
+
+// SearchBox implements index.Index.
+func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
+	if q.Dim() != t.cfg.Dim {
+		return nil, fmt.Errorf("xtree: query has dim %d, want %d", q.Dim(), t.cfg.Dim)
+	}
+	var out []index.Entry
+	var walk func(id pagefile.PageID) error
+	walk = func(id pagefile.PageID) error {
+		n, err := t.get(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for i, p := range n.pts {
+				if q.Contains(p) {
+					out = append(out, index.Entry{Point: p, RID: n.rids[i]})
+				}
+			}
+			return nil
+		}
+		for i := range n.ents {
+			if n.ents[i].rect.Intersects(q) {
+				if err := walk(n.ents[i].child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := walk(t.root)
+	return out, err
+}
+
+// SearchRange implements index.Index.
+func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]index.Neighbor, error) {
+	if len(q) != t.cfg.Dim {
+		return nil, fmt.Errorf("xtree: query has dim %d, want %d", len(q), t.cfg.Dim)
+	}
+	if radius < 0 {
+		return nil, fmt.Errorf("xtree: negative radius %g", radius)
+	}
+	var out []index.Neighbor
+	var walk func(id pagefile.PageID) error
+	walk = func(id pagefile.PageID) error {
+		n, err := t.get(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for i, p := range n.pts {
+				if d := m.Distance(q, p); d <= radius {
+					out = append(out, index.Neighbor{Entry: index.Entry{Point: p, RID: n.rids[i]}, Dist: d})
+				}
+			}
+			return nil
+		}
+		for i := range n.ents {
+			if m.MinDistRect(q, n.ents[i].rect) <= radius {
+				if err := walk(n.ents[i].child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := walk(t.root)
+	return out, err
+}
+
+// SearchKNN implements index.Index with best-first traversal.
+func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]index.Neighbor, error) {
+	if len(q) != t.cfg.Dim {
+		return nil, fmt.Errorf("xtree: query has dim %d, want %d", len(q), t.cfg.Dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("xtree: k must be >= 1, got %d", k)
+	}
+	var pq pqueue.Min[pagefile.PageID]
+	best := pqueue.NewKBest[index.Neighbor](k)
+	pq.Push(t.root, 0)
+	for pq.Len() > 0 {
+		id, mindist := pq.Pop()
+		if best.Full() && mindist > best.Bound() {
+			break
+		}
+		n, err := t.get(id)
+		if err != nil {
+			return nil, err
+		}
+		if n.leaf {
+			for i, p := range n.pts {
+				d := m.Distance(q, p)
+				best.Offer(index.Neighbor{Entry: index.Entry{Point: p, RID: n.rids[i]}, Dist: d}, d)
+			}
+			continue
+		}
+		for i := range n.ents {
+			md := m.MinDistRect(q, n.ents[i].rect)
+			if !best.Full() || md <= best.Bound() {
+				pq.Push(n.ents[i].child, md)
+			}
+		}
+	}
+	ns, _ := best.Sorted()
+	return ns, nil
+}
+
+// Stats summarizes the structure.
+type Stats struct {
+	Height     int
+	LeafNodes  int
+	DirNodes   int
+	Supernodes int
+	ChainPages int
+	Entries    int
+	MaxFanout  int
+}
+
+// Stats walks the tree without perturbing access counters.
+func (t *Tree) Stats() (Stats, error) {
+	saved := *t.file.Stats()
+	defer func() { *t.file.Stats() = saved }()
+	st := Stats{Height: t.height}
+	var walk func(id pagefile.PageID) error
+	walk = func(id pagefile.PageID) error {
+		n, err := t.get(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			st.LeafNodes++
+			st.Entries += len(n.pts)
+			return nil
+		}
+		st.DirNodes++
+		st.ChainPages += len(n.chain)
+		if len(n.chain) > 0 {
+			st.Supernodes++
+		}
+		if len(n.ents) > st.MaxFanout {
+			st.MaxFanout = len(n.ents)
+		}
+		for i := range n.ents {
+			if err := walk(n.ents[i].child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,247 @@
+package xtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+func build(t testing.TB, n, dim, pageSize int, seed int64) (*Tree, []geom.Point) {
+	t.Helper()
+	file := pagefile.NewMemFile(pageSize)
+	tree, err := New(file, Config{Dim: dim, PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = rng.Float32()
+		}
+		pts[i] = p
+		if err := tree.Insert(p, uint64(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	return tree, pts
+}
+
+func TestValidation(t *testing.T) {
+	file := pagefile.NewMemFile(4096)
+	if _, err := New(file, Config{Dim: 0}); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	if _, err := New(pagefile.NewMemFile(64), Config{Dim: 64, PageSize: 64}); err == nil {
+		t.Fatal("impossible geometry accepted")
+	}
+	tree, err := New(file, Config{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(geom.Point{0.5}, 1); err == nil {
+		t.Fatal("wrong dim accepted")
+	}
+	if _, err := tree.SearchBox(geom.UnitCube(2)); err == nil {
+		t.Fatal("wrong dim query accepted")
+	}
+	if _, err := tree.SearchKNN(make(geom.Point, 4), 0, dist.L2()); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := tree.SearchRange(make(geom.Point, 4), -1, dist.L2()); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+}
+
+func TestBoxMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		n, dim, page int
+		side         float32
+	}{
+		{3000, 4, 512, 0.4},
+		{2000, 8, 1024, 0.7},
+		{800, 32, 4096, 1.1},
+	} {
+		t.Run(fmt.Sprintf("n%d_d%d", tc.n, tc.dim), func(t *testing.T) {
+			tree, pts := build(t, tc.n, tc.dim, tc.page, 42)
+			rng := rand.New(rand.NewSource(7))
+			for q := 0; q < 20; q++ {
+				lo := make(geom.Point, tc.dim)
+				hi := make(geom.Point, tc.dim)
+				for d := 0; d < tc.dim; d++ {
+					c := rng.Float32()
+					lo[d], hi[d] = c-tc.side/2, c+tc.side/2
+				}
+				rect := geom.Rect{Lo: lo, Hi: hi}
+				got, err := tree.SearchBox(rect)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotSet := make(map[uint64]bool)
+				for _, e := range got {
+					gotSet[e.RID] = true
+				}
+				want := 0
+				for i, p := range pts {
+					if rect.Contains(p) {
+						want++
+						if !gotSet[uint64(i)] {
+							t.Fatalf("query %d: missing %d", q, i)
+						}
+					}
+				}
+				if len(gotSet) != want {
+					t.Fatalf("query %d: got %d, want %d", q, len(gotSet), want)
+				}
+			}
+		})
+	}
+}
+
+func TestRangeAndKNN(t *testing.T) {
+	tree, pts := build(t, 2000, 8, 1024, 13)
+	rng := rand.New(rand.NewSource(17))
+	m := dist.L2()
+	for q := 0; q < 10; q++ {
+		center := pts[rng.Intn(len(pts))]
+		r := 0.2 + rng.Float64()*0.3
+		got, err := tree.SearchRange(center, r, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for _, p := range pts {
+			if m.Distance(center, p) <= r {
+				count++
+			}
+		}
+		if len(got) != count {
+			t.Fatalf("range: got %d, want %d", len(got), count)
+		}
+	}
+	query := pts[5]
+	got, err := tree.SearchKNN(query, 12, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists := make([]float64, len(pts))
+	for i, p := range pts {
+		dists[i] = m.Distance(query, p)
+	}
+	sort.Float64s(dists)
+	for i, nb := range got {
+		if diff := nb.Dist - dists[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("knn %d: %g vs %g", i, nb.Dist, dists[i])
+		}
+	}
+}
+
+// High-dimensional clustered data must force supernodes — the X-tree's
+// signature response to unsplittable overlap — and the tree must stay
+// correct around them.
+func TestSupernodesForm(t *testing.T) {
+	const dim = 32
+	rng := rand.New(rand.NewSource(23))
+	file := pagefile.NewMemFile(4096)
+	tree, err := New(file, Config{Dim: dim, PageSize: 4096, MaxOverlap: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]geom.Point, 4000)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = rng.Float32()
+		}
+		pts[i] = p
+		if err := tree.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := tree.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Supernodes == 0 {
+		t.Fatal("expected supernodes under heavy overlap pressure")
+	}
+	cfg := tree.cfg
+	if st.MaxFanout <= cfg.nodeCap() {
+		t.Fatalf("max fanout %d does not exceed one page's capacity", st.MaxFanout)
+	}
+	t.Logf("xtree stats: %+v (page cap %d)", st, cfg.nodeCap())
+
+	// Queries remain exact with supernodes in play.
+	for q := 0; q < 10; q++ {
+		lo := make(geom.Point, dim)
+		hi := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			c := rng.Float32()
+			lo[d], hi[d] = c-0.45, c+0.45
+		}
+		rect := geom.Rect{Lo: lo, Hi: hi}
+		got, err := tree.SearchBox(rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, p := range pts {
+			if rect.Contains(p) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("query %d: got %d, want %d", q, len(got), want)
+		}
+	}
+}
+
+// Supernode page chains must round-trip the codec and cost one read per
+// chain page.
+func TestSupernodeCodecAndAccounting(t *testing.T) {
+	const dim = 16
+	file := pagefile.NewMemFile(2048)
+	tree, err := New(file, Config{Dim: dim, PageSize: 2048, MaxOverlap: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	pts := make([]geom.Point, 3000)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = rng.Float32()
+		}
+		pts[i] = p
+		if err := tree.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := tree.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChainPages == 0 {
+		t.Skip("no supernodes formed at this configuration")
+	}
+	// Force full decode and compare a query before/after.
+	rect := geom.NewRect(make(geom.Point, dim), geom.Point{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5})
+	before, err := tree.SearchBox(rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.cache = map[pagefile.PageID]*node{}
+	after, err := tree.SearchBox(rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("decode changed results: %d vs %d", len(before), len(after))
+	}
+}
