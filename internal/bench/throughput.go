@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridtree/internal/concurrent"
+	"hybridtree/internal/core"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// KNNSearcher is the read-side interface the throughput runner drives; both
+// the read-parallel concurrent.Tree and the single-mutex baseline satisfy
+// it.
+type KNNSearcher interface {
+	SearchKNN(q geom.Point, k int, m dist.Metric) ([]core.Neighbor, error)
+}
+
+// BoxSearcher is the box-query counterpart of KNNSearcher.
+type BoxSearcher interface {
+	SearchBox(q geom.Rect) ([]core.Entry, error)
+}
+
+// SerialTree is the pre-read-parallel baseline: every operation, searches
+// included, serialized behind one exclusive mutex — exactly what
+// concurrent.Tree was before the parallel read path. It exists so the
+// throughput benchmarks can measure what the reader/writer lock buys.
+type SerialTree struct {
+	mu   sync.Mutex
+	tree *core.Tree
+}
+
+// NewSerialTree wraps t behind a single exclusive mutex. The caller must
+// not use t directly afterwards.
+func NewSerialTree(t *core.Tree) *SerialTree { return &SerialTree{tree: t} }
+
+// SearchKNN serializes core.Tree.SearchKNN behind the single mutex.
+func (s *SerialTree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]core.Neighbor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.SearchKNN(q, k, m)
+}
+
+// SearchBox serializes core.Tree.SearchBox behind the single mutex.
+func (s *SerialTree) SearchBox(q geom.Rect) ([]core.Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.SearchBox(q)
+}
+
+// DropCaches discards the decoded-node cache under the mutex (cold-read
+// benchmarks).
+func (s *SerialTree) DropCaches() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tree.DropCaches()
+}
+
+// ThroughputResult is one (searcher, worker-count) throughput measurement.
+type ThroughputResult struct {
+	Workers int
+	Queries int
+	Elapsed time.Duration
+	QPS     float64
+}
+
+// RunKNNThroughput fans the query slice across workers goroutines, each
+// pulling the next query from a shared counter, and reports wall-clock
+// queries/sec. With workers == 1 it degenerates to a sequential loop.
+func RunKNNThroughput(s KNNSearcher, queries []geom.Point, k int, m dist.Metric, workers int) (ThroughputResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	return runThroughput(len(queries), workers, func(i int) error {
+		_, err := s.SearchKNN(queries[i], k, m)
+		return err
+	})
+}
+
+// RunBoxThroughput is RunKNNThroughput for box queries.
+func RunBoxThroughput(s BoxSearcher, queries []geom.Rect, workers int) (ThroughputResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	return runThroughput(len(queries), workers, func(i int) error {
+		_, err := s.SearchBox(queries[i])
+		return err
+	})
+}
+
+func runThroughput(n, workers int, do func(i int) error) (ThroughputResult, error) {
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := do(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return ThroughputResult{}, firstErr
+	}
+	qps := 0.0
+	if elapsed > 0 {
+		qps = float64(n) / elapsed.Seconds()
+	}
+	return ThroughputResult{Workers: workers, Queries: n, Elapsed: elapsed, QPS: qps}, nil
+}
+
+// ThroughputFixture is a built index exposed both ways — read-parallel and
+// single-mutex — over the same underlying tree pages, plus a query batch.
+type ThroughputFixture struct {
+	Parallel *concurrent.Tree
+	Serial   *SerialTree
+	Queries  []geom.Point
+	Boxes    []geom.Rect
+	Dim      int
+}
+
+// NewThroughputFixture builds a uniform random dataset of n dim-d points
+// on two identical in-memory trees (one per wrapper, so the two paths
+// never share cache state) and derives numQueries query centers and boxes
+// from the data distribution.
+func NewThroughputFixture(n, dim, numQueries, pageSize int, seed int64) (*ThroughputFixture, error) {
+	return newThroughputFixture(n, dim, numQueries, pageSize, seed, 0)
+}
+
+// NewThroughputFixtureIO is NewThroughputFixture over page files that
+// sleep readDelay per page read — the paper's disk-access-bound regime,
+// where concurrent readers overlap their waits. Builds stay fast because
+// construction works against the write-through node cache.
+func NewThroughputFixtureIO(n, dim, numQueries, pageSize int, seed int64, readDelay time.Duration) (*ThroughputFixture, error) {
+	return newThroughputFixture(n, dim, numQueries, pageSize, seed, readDelay)
+}
+
+func newThroughputFixture(n, dim, numQueries, pageSize int, seed int64, readDelay time.Duration) (*ThroughputFixture, error) {
+	rng := newSplitMix(uint64(seed))
+	data := make([]geom.Point, n)
+	for i := range data {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = rng.float32()
+		}
+		data[i] = p
+	}
+	build := func() (*core.Tree, error) {
+		var file pagefile.File = pagefile.NewMemFile(pageSize)
+		if readDelay > 0 {
+			file = pagefile.WithLatency(file, readDelay)
+		}
+		tree, err := core.New(file, core.Config{Dim: dim, PageSize: pageSize})
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range data {
+			if err := tree.Insert(p, core.RecordID(i)); err != nil {
+				return nil, fmt.Errorf("insert %d: %w", i, err)
+			}
+		}
+		return tree, nil
+	}
+	parallelTree, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("bench: build parallel fixture: %w", err)
+	}
+	serialTree, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("bench: build serial fixture: %w", err)
+	}
+	f := &ThroughputFixture{
+		Parallel: concurrent.Wrap(parallelTree),
+		Serial:   NewSerialTree(serialTree),
+		Dim:      dim,
+	}
+	for i := 0; i < numQueries; i++ {
+		c := data[int(rng.next()%uint64(n))]
+		f.Queries = append(f.Queries, c.Clone())
+		lo, hi := make(geom.Point, dim), make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			lo[d], hi[d] = c[d]-0.05, c[d]+0.05
+		}
+		f.Boxes = append(f.Boxes, geom.Rect{Lo: lo, Hi: hi})
+	}
+	return f, nil
+}
+
+// splitMix is a tiny deterministic PRNG (splitmix64) so the fixture does
+// not depend on math/rand's global state.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix) float32() float32 {
+	return float32(s.next()>>40) / float32(1<<24)
+}

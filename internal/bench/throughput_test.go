@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"testing"
+
+	"hybridtree/internal/dist"
+)
+
+// TestThroughputRunners smoke-tests the runners and pins the accounting
+// guarantee: the serial single-mutex path and the read-parallel path over
+// an identically built tree charge byte-identical logical read counts for
+// the same query set — concurrency changes wall-clock, never the paper's
+// I/O metric.
+func TestThroughputRunners(t *testing.T) {
+	f, err := NewThroughputFixture(4000, 8, 64, 2048, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialStats := f.Serial.tree.File().Stats()
+	parallelStats := f.Parallel.File().Stats()
+	serialStats.Reset()
+	parallelStats.Reset()
+
+	rs, err := RunKNNThroughput(f.Serial, f.Queries, 5, dist.L2(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := RunKNNThroughput(f.Parallel, f.Queries, 5, dist.L2(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Queries != len(f.Queries) || rp.Queries != len(f.Queries) {
+		t.Fatalf("query counts %d / %d, want %d", rs.Queries, rp.Queries, len(f.Queries))
+	}
+	if rs.QPS <= 0 || rp.QPS <= 0 {
+		t.Fatalf("non-positive QPS: serial %v parallel %v", rs.QPS, rp.QPS)
+	}
+	if got, want := parallelStats.Reads(), serialStats.Reads(); got != want {
+		t.Fatalf("parallel path charged %d reads, serial path %d", got, want)
+	}
+
+	if _, err := RunBoxThroughput(f.Serial, f.Boxes, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBoxThroughput(f.Parallel, f.Boxes, 4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package concurrent
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hybridtree/internal/core"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+)
+
+// runBatch fans n work items across a bounded pool of min(GOMAXPROCS, n)
+// workers pulling indices from a shared atomic counter. Each item acquires
+// the tree's read lock independently, so writers can interleave between
+// queries of a long batch instead of starving behind it. The first error
+// stops the remaining workers (in-flight items finish); results already
+// produced stay in place and the error is returned.
+func (t *Tree) runBatch(n int, do func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := do(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := do(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// SearchKNNBatch answers one k-NN query per element of qs, fanning the
+// batch across a bounded worker pool. out[i] corresponds to qs[i]. On
+// error, the slice holds whatever queries completed before the failure;
+// unfinished slots are nil.
+func (t *Tree) SearchKNNBatch(qs []geom.Point, k int, m dist.Metric) ([][]core.Neighbor, error) {
+	out := make([][]core.Neighbor, len(qs))
+	err := t.runBatch(len(qs), func(i int) error {
+		ns, err := t.SearchKNN(qs[i], k, m)
+		if err != nil {
+			return err
+		}
+		out[i] = ns
+		return nil
+	})
+	return out, err
+}
+
+// SearchBoxBatch answers one box query per element of qs in parallel;
+// out[i] corresponds to qs[i].
+func (t *Tree) SearchBoxBatch(qs []geom.Rect) ([][]core.Entry, error) {
+	out := make([][]core.Entry, len(qs))
+	err := t.runBatch(len(qs), func(i int) error {
+		es, err := t.SearchBox(qs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = es
+		return nil
+	})
+	return out, err
+}
+
+// RangeQuery pairs a center with a radius for SearchRangeBatch.
+type RangeQuery struct {
+	Center geom.Point
+	Radius float64
+}
+
+// SearchRangeBatch answers one distance-range query per element of qs in
+// parallel; out[i] corresponds to qs[i].
+func (t *Tree) SearchRangeBatch(qs []RangeQuery, m dist.Metric) ([][]core.Neighbor, error) {
+	out := make([][]core.Neighbor, len(qs))
+	err := t.runBatch(len(qs), func(i int) error {
+		ns, err := t.SearchRange(qs[i].Center, qs[i].Radius, m)
+		if err != nil {
+			return err
+		}
+		out[i] = ns
+		return nil
+	})
+	return out, err
+}

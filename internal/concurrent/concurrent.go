@@ -1,11 +1,18 @@
 // Package concurrent provides a goroutine-safe wrapper around the hybrid
-// tree. The core tree, like most paginated index implementations, is
-// single-threaded: traversals update the decoded-node cache and the access
-// counters, so even logically read-only operations mutate shared state.
-// Tree serializes every operation behind one mutex — the right call for
-// the library's primary use (offline benchmark-grade indexing) and a safe
-// default for services with moderate concurrency. Callers needing true
-// parallel reads should shard across multiple trees.
+// tree with a truly parallel read path. The storage substrate counts
+// logical accesses atomically, the decoded-node caches are sharded, and
+// per-operation scratch buffers replaced the shared ones, so logically
+// read-only operations really are read-only. Tree exploits that with a
+// reader/writer lock: any number of SearchBox / SearchRange / SearchKNN /
+// CountBox calls run concurrently, while Insert / Delete / Update remain
+// exclusive. The paper's I/O accounting is unaffected — every logical node
+// access is still charged exactly one counter increment, and increments
+// commute — so a query batch reports byte-identical Stats whether it ran
+// serially or fanned out (see TestBatchStatsParity).
+//
+// For query-heavy workloads, the batch executor (SearchKNNBatch,
+// SearchBoxBatch, SearchRangeBatch) fans a query slice across a bounded
+// pool of GOMAXPROCS workers.
 package concurrent
 
 import (
@@ -18,9 +25,10 @@ import (
 	"hybridtree/internal/pagefile"
 )
 
-// Tree is a mutex-guarded hybrid tree.
+// Tree is a reader/writer-locked hybrid tree: searches share the lock,
+// mutations hold it exclusively.
 type Tree struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	tree *core.Tree
 }
 
@@ -76,8 +84,11 @@ func (t *Tree) Delete(p geom.Point, rid core.RecordID) (bool, error) {
 }
 
 // Update atomically replaces the vector of a record: the delete and insert
-// happen under one lock, so no concurrent search observes the record
-// missing.
+// happen under one exclusive lock, so no concurrent search observes the
+// record missing. If the re-insert fails (e.g. the new vector lies outside
+// the data space), the old vector is restored before returning, so the
+// record is never silently lost; should even the restore fail, the error
+// says so explicitly.
 func (t *Tree) Update(old, new geom.Point, rid core.RecordID) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -85,52 +96,80 @@ func (t *Tree) Update(old, new geom.Point, rid core.RecordID) (bool, error) {
 	if err != nil || !found {
 		return found, err
 	}
-	return true, t.tree.Insert(new, rid)
+	if err := t.tree.Insert(new, rid); err != nil {
+		if rerr := t.tree.Insert(old, rid); rerr != nil {
+			return true, fmt.Errorf("concurrent: update of record %d lost the record: insert of new vector failed (%v); restore of old vector also failed: %w", rid, err, rerr)
+		}
+		return true, fmt.Errorf("concurrent: update of record %d rolled back, old vector kept: %w", rid, err)
+	}
+	return true, nil
 }
 
-// SearchBox is a goroutine-safe core.Tree.SearchBox. Returned points are
-// cloned so they remain valid after the lock is released.
+// SearchBox is a goroutine-safe core.Tree.SearchBox; it runs concurrently
+// with other searches. Returned points are cloned so they remain valid
+// after the lock is released.
 func (t *Tree) SearchBox(q geom.Rect) ([]core.Entry, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	es, err := t.tree.SearchBox(q)
 	cloneEntries(es)
 	return es, err
 }
 
-// SearchRange is a goroutine-safe core.Tree.SearchRange.
+// SearchRange is a goroutine-safe core.Tree.SearchRange; it runs
+// concurrently with other searches.
 func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]core.Neighbor, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	ns, err := t.tree.SearchRange(q, radius, m)
 	cloneNeighbors(ns)
 	return ns, err
 }
 
-// SearchKNN is a goroutine-safe core.Tree.SearchKNN.
+// SearchKNN is a goroutine-safe core.Tree.SearchKNN; it runs concurrently
+// with other searches.
 func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]core.Neighbor, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	ns, err := t.tree.SearchKNN(q, k, m)
 	cloneNeighbors(ns)
 	return ns, err
 }
 
-// CountBox is a goroutine-safe core.Tree.CountBox.
+// CountBox is a goroutine-safe core.Tree.CountBox; it runs concurrently
+// with other searches.
 func (t *Tree) CountBox(q geom.Rect) (int, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.tree.CountBox(q)
 }
 
+// File exposes the underlying page file (for access accounting). The
+// returned Stats counters are atomic; snapshot them with Stats.Snapshot
+// while queries may be in flight.
+func (t *Tree) File() pagefile.File { return t.tree.File() }
+
 // Size returns the number of stored records.
 func (t *Tree) Size() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.tree.Size()
 }
 
-// CheckInvariants runs the structural audit under the lock.
+// DropCaches discards the decoded-node caches so subsequent reads go back
+// to the page file (cold-query measurements). The sharded cache is
+// internally synchronized, so this shares the read lock and may run
+// concurrently with searches: an in-flight search simply re-reads the
+// pages it needs.
+func (t *Tree) DropCaches() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.tree.DropCaches()
+}
+
+// CheckInvariants runs the structural audit. It takes the exclusive lock:
+// the audit saves and restores the access counters around its walk, which
+// would corrupt counts charged by concurrent readers.
 func (t *Tree) CheckInvariants() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -1,0 +1,297 @@
+package concurrent
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hybridtree/internal/core"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+func randPoint(rng *rand.Rand, dim int) geom.Point {
+	p := make(geom.Point, dim)
+	for d := range p {
+		p[d] = rng.Float32()
+	}
+	return p
+}
+
+func buildTree(t *testing.T, dim, n int, pageSize int) (*Tree, []geom.Point) {
+	t.Helper()
+	file := pagefile.NewMemFile(pageSize)
+	tree, err := New(file, core.Config{Dim: dim, PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]geom.Point, n)
+	rids := make([]core.RecordID, n)
+	for i := range pts {
+		pts[i] = randPoint(rng, dim)
+		rids[i] = core.RecordID(i)
+	}
+	if err := tree.InsertBatch(pts, rids); err != nil {
+		t.Fatal(err)
+	}
+	return tree, pts
+}
+
+// TestConcurrentStress mixes parallel readers, writers, updaters and
+// periodic full-structure audits on one tree. It is only meaningful under
+// `go test -race`, where it validates the reader/writer locking end to end:
+// searches share the lock, mutations and CheckInvariants exclude everyone.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		dim        = 6
+		seedN      = 3000
+		inserters  = 3
+		deleters   = 2
+		updaters   = 2
+		searchers  = 6
+		opsPerGoro = 150
+	)
+	tree, seed := buildTree(t, dim, seedN, 512)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	for g := 0; g < inserters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < opsPerGoro; i++ {
+				if err := tree.Insert(randPoint(rng, dim), core.RecordID(100000+g*10000+i)); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < deleters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPerGoro; i++ {
+				idx := g*opsPerGoro + i
+				if _, err := tree.Delete(seed[idx], core.RecordID(idx)); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < updaters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(2000 + g)))
+			for i := 0; i < opsPerGoro; i++ {
+				// Update records the deleters never touch.
+				idx := seedN - 1 - g*opsPerGoro - i
+				newP := randPoint(rng, dim)
+				found, err := tree.Update(seed[idx], newP, core.RecordID(idx))
+				if err != nil {
+					fail(err)
+					return
+				}
+				if found {
+					seed[idx] = newP
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < searchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(3000 + g)))
+			for i := 0; i < opsPerGoro; i++ {
+				c := randPoint(rng, dim)
+				if _, err := tree.SearchKNN(c, 4, dist.L2()); err != nil {
+					fail(err)
+					return
+				}
+				lo, hi := make(geom.Point, dim), make(geom.Point, dim)
+				for d := 0; d < dim; d++ {
+					lo[d], hi[d] = c[d]*0.5, c[d]*0.5+0.25
+				}
+				if _, err := tree.SearchBox(geom.Rect{Lo: lo, Hi: hi}); err != nil {
+					fail(err)
+					return
+				}
+				if i%25 == 0 {
+					if err := tree.CheckInvariants(); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	want := seedN + inserters*opsPerGoro - deleters*opsPerGoro
+	if got := tree.Size(); got != want {
+		t.Fatalf("size = %d, want %d", got, want)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdateRollback verifies the fix for the lost-record bug: when the
+// re-insert of an update fails, the old vector must be restored and the
+// error surfaced.
+func TestUpdateRollback(t *testing.T) {
+	file := pagefile.NewMemFile(512)
+	tree, err := New(file, core.Config{Dim: 2, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldP := geom.Point{0.3, 0.3}
+	if err := tree.Insert(oldP, 7); err != nil {
+		t.Fatal(err)
+	}
+	// The new vector lies outside the unit-cube data space, so the insert
+	// half of the update must fail after the delete half succeeded.
+	badP := geom.Point{1.5, 1.5}
+	found, err := tree.Update(oldP, badP, 7)
+	if !found {
+		t.Fatal("update did not find the record")
+	}
+	if err == nil {
+		t.Fatal("update with out-of-space vector reported success")
+	}
+	// The record must still be present at its old location.
+	n, cerr := tree.CountBox(geom.Rect{Lo: oldP, Hi: oldP})
+	if cerr != nil || n != 1 {
+		t.Fatalf("old location count after rollback = %d, %v", n, cerr)
+	}
+	if got := tree.Size(); got != 1 {
+		t.Fatalf("size after rollback = %d, want 1", got)
+	}
+}
+
+// TestBatchMatchesSequential checks that the batch executors return, slot
+// for slot, exactly what one-at-a-time calls return.
+func TestBatchMatchesSequential(t *testing.T) {
+	const dim = 5
+	tree, _ := buildTree(t, dim, 2500, 1024)
+	rng := rand.New(rand.NewSource(9))
+
+	knnQs := make([]geom.Point, 40)
+	boxQs := make([]geom.Rect, 40)
+	rangeQs := make([]RangeQuery, 40)
+	for i := range knnQs {
+		c := randPoint(rng, dim)
+		knnQs[i] = c
+		lo, hi := make(geom.Point, dim), make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			lo[d], hi[d] = c[d]*0.5, c[d]*0.5+0.3
+		}
+		boxQs[i] = geom.Rect{Lo: lo, Hi: hi}
+		rangeQs[i] = RangeQuery{Center: c, Radius: 0.25}
+	}
+
+	gotKNN, err := tree.SearchKNNBatch(knnQs, 5, dist.L2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBox, err := tree.SearchBoxBatch(boxQs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRange, err := tree.SearchRangeBatch(rangeQs, dist.L1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range knnQs {
+		wantK, err := tree.SearchKNN(knnQs[i], 5, dist.L2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotKNN[i], wantK) {
+			t.Fatalf("knn batch result %d differs from sequential", i)
+		}
+		wantB, err := tree.SearchBox(boxQs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wantB) != len(gotBox[i]) {
+			t.Fatalf("box batch result %d: %d entries, sequential %d", i, len(gotBox[i]), len(wantB))
+		}
+		wantR, err := tree.SearchRange(rangeQs[i].Center, rangeQs[i].Radius, dist.L1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wantR) != len(gotRange[i]) {
+			t.Fatalf("range batch result %d: %d entries, sequential %d", i, len(gotRange[i]), len(wantR))
+		}
+	}
+}
+
+// TestBatchStatsParity pins the accounting guarantee the paper's
+// evaluation depends on: a query batch charges byte-identical Stats
+// whether it runs sequentially or fanned across the worker pool. Every
+// logical node access is one atomic increment either way, and increments
+// commute.
+func TestBatchStatsParity(t *testing.T) {
+	const dim = 6
+	tree, _ := buildTree(t, dim, 4000, 1024)
+	rng := rand.New(rand.NewSource(11))
+	qs := make([]geom.Point, 64)
+	for i := range qs {
+		qs[i] = randPoint(rng, dim)
+	}
+	stats := tree.tree.File().Stats()
+
+	stats.Reset()
+	for _, q := range qs {
+		if _, err := tree.SearchKNN(q, 5, dist.L2()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sequential := stats.Snapshot()
+
+	stats.Reset()
+	if _, err := tree.SearchKNNBatch(qs, 5, dist.L2()); err != nil {
+		t.Fatal(err)
+	}
+	parallel := stats.Snapshot()
+
+	if sequential != parallel {
+		t.Fatalf("stats diverge: sequential %+v, parallel %+v", sequential, parallel)
+	}
+	if sequential.RandomReads == 0 {
+		t.Fatal("query batch charged no reads; accounting is broken")
+	}
+}
+
+// TestBatchError checks that a failing query aborts the batch and surfaces
+// the error.
+func TestBatchError(t *testing.T) {
+	tree, _ := buildTree(t, 4, 100, 512)
+	qs := []geom.Point{
+		{0.1, 0.1, 0.1, 0.1},
+		{0.2, 0.2}, // wrong dimensionality
+		{0.3, 0.3, 0.3, 0.3},
+	}
+	if _, err := tree.SearchKNNBatch(qs, 3, dist.L2()); err == nil {
+		t.Fatal("batch with bad query reported success")
+	}
+}

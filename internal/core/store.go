@@ -1,8 +1,20 @@
 package core
 
 import (
+	"sync"
+
 	"hybridtree/internal/pagefile"
 )
+
+// cacheShards is the number of independently-locked cache segments. Sixteen
+// keeps lock contention negligible at any realistic GOMAXPROCS while the
+// per-shard overhead stays trivial.
+const cacheShards = 16
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[pagefile.PageID]*node
+}
 
 // store mediates between decoded nodes and their on-disk pages. It keeps a
 // write-through cache of decoded nodes so that tree construction does not
@@ -10,36 +22,65 @@ import (
 // node access to the page file's counters: the paper's I/O metric is the
 // number of disk accesses a cold query would make, so a cache hit must cost
 // the same one logical read as a miss.
+//
+// The cache is sharded by page id and scratch page buffers come from a
+// pool, so any number of goroutines may call get concurrently; alloc, put
+// and free mutate the tree and rely on the exclusive locking the
+// concurrency layer provides for writers.
 type store struct {
-	file  pagefile.File
-	dim   int
-	cache map[pagefile.PageID]*node
-	buf   []byte
+	file   pagefile.File
+	dim    int
+	shards [cacheShards]cacheShard
+	bufs   sync.Pool // *[]byte scratch pages, one File.PageSize each
 }
 
 func newStore(file pagefile.File, dim int) *store {
-	return &store{
-		file:  file,
-		dim:   dim,
-		cache: make(map[pagefile.PageID]*node),
-		buf:   make([]byte, file.PageSize()),
+	s := &store{file: file, dim: dim}
+	for i := range s.shards {
+		s.shards[i].m = make(map[pagefile.PageID]*node)
 	}
+	pageSize := file.PageSize()
+	s.bufs.New = func() any {
+		b := make([]byte, pageSize)
+		return &b
+	}
+	return s
+}
+
+func (s *store) shard(id pagefile.PageID) *cacheShard {
+	return &s.shards[uint(id)%cacheShards]
 }
 
 // get returns the decoded node for id, counting one logical random read.
+// Safe for concurrent callers.
 func (s *store) get(id pagefile.PageID) (*node, error) {
-	if n, ok := s.cache[id]; ok {
-		s.file.Stats().RandomReads++
+	sh := s.shard(id)
+	sh.mu.RLock()
+	n, ok := sh.m[id]
+	sh.mu.RUnlock()
+	if ok {
+		s.file.Stats().AddRandomReads(1)
 		return n, nil
 	}
-	if err := s.file.ReadPage(id, s.buf); err != nil {
+	bufp := s.bufs.Get().(*[]byte)
+	if err := s.file.ReadPage(id, *bufp); err != nil {
+		s.bufs.Put(bufp)
 		return nil, err
 	}
-	n, err := decodeNode(id, s.buf, s.dim)
+	n, err := decodeNode(id, *bufp, s.dim)
+	s.bufs.Put(bufp)
 	if err != nil {
 		return nil, err
 	}
-	s.cache[id] = n
+	sh.mu.Lock()
+	if cached, ok := sh.m[id]; ok {
+		// Another goroutine decoded the page first; keep its copy canonical
+		// so writers always see the cached instance.
+		n = cached
+	} else {
+		sh.m[id] = n
+	}
+	sh.mu.Unlock()
 	return n, nil
 }
 
@@ -51,31 +92,47 @@ func (s *store) alloc(leaf bool) (*node, error) {
 		return nil, err
 	}
 	n := &node{id: id, leaf: leaf, kdRoot: kdNone}
-	s.cache[id] = n
+	sh := s.shard(id)
+	sh.mu.Lock()
+	sh.m[id] = n
+	sh.mu.Unlock()
 	return n, nil
 }
 
 // put writes the node through to its page.
 func (s *store) put(n *node) error {
-	size, err := n.encode(s.buf, s.dim)
+	bufp := s.bufs.Get().(*[]byte)
+	size, err := n.encode(*bufp, s.dim)
+	if err == nil {
+		err = s.file.WritePage(n.id, (*bufp)[:size])
+	}
+	s.bufs.Put(bufp)
 	if err != nil {
 		return err
 	}
-	if err := s.file.WritePage(n.id, s.buf[:size]); err != nil {
-		return err
-	}
-	s.cache[n.id] = n
+	sh := s.shard(n.id)
+	sh.mu.Lock()
+	sh.m[n.id] = n
+	sh.mu.Unlock()
 	return nil
 }
 
 // free releases the node's page and drops it from the cache.
 func (s *store) free(id pagefile.PageID) error {
-	delete(s.cache, id)
+	sh := s.shard(id)
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
 	return s.file.Free(id)
 }
 
 // dropCache empties the decoded-node cache (used by tests that want to
 // force decode paths, and by Close).
 func (s *store) dropCache() {
-	s.cache = make(map[pagefile.PageID]*node)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[pagefile.PageID]*node)
+		sh.mu.Unlock()
+	}
 }

@@ -13,6 +13,7 @@ package els
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hybridtree/internal/geom"
 )
@@ -27,8 +28,14 @@ type Encoded []byte
 // in memory — for an 8K page, 4-bit precision and 64 dimensions it is under
 // 1% of the database size — and so do we. MemoryBytes reports the honest
 // footprint so the harness can verify that claim.
+//
+// The table is safe for concurrent use. Get matters here: although
+// logically read-only, it memoizes decoded rectangles, so without the lock
+// two parallel searches right after a snapshot restore would race on the
+// memo map.
 type Table struct {
 	bits int
+	mu   sync.RWMutex
 	enc  map[uint32]Encoded
 	// dec memoizes decoded rectangles so the two-step overlap check of
 	// Section 3.4 costs a rectangle intersection rather than a bit-unpack
@@ -56,11 +63,21 @@ func (t *Table) Enabled() bool { return t.bits > 0 }
 
 // MemoryBytes returns the total size of all stored encodings.
 func (t *Table) MemoryBytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := 0
 	for _, e := range t.enc {
 		n += len(e)
 	}
 	return n
+}
+
+// setLocked stores the encoding and its decoded memo; t.mu must be held
+// exclusively.
+func (t *Table) setLocked(id uint32, outer, live geom.Rect) {
+	e := Encode(outer, live, t.bits)
+	t.enc[id] = e
+	t.dec[id] = Decode(outer, e, t.bits)
 }
 
 // Set encodes live relative to outer and stores it for id. live must be
@@ -69,9 +86,9 @@ func (t *Table) Set(id uint32, outer, live geom.Rect) {
 	if !t.Enabled() {
 		return
 	}
-	e := Encode(outer, live, t.bits)
-	t.enc[id] = e
-	t.dec[id] = Decode(outer, e, t.bits)
+	t.mu.Lock()
+	t.setLocked(id, outer, live)
+	t.mu.Unlock()
 }
 
 // Get returns the decoded live rectangle for id, or outer itself when no
@@ -82,15 +99,26 @@ func (t *Table) Get(id uint32, outer geom.Rect) (geom.Rect, bool) {
 	if !t.Enabled() {
 		return outer, false
 	}
+	t.mu.RLock()
 	if r, ok := t.dec[id]; ok {
+		t.mu.RUnlock()
 		return r, true
 	}
 	e, ok := t.enc[id]
+	t.mu.RUnlock()
 	if !ok {
 		return outer, false
 	}
+	// Decode outside the lock, then memoize; a racing decoder produces the
+	// identical rectangle, so first-in wins.
 	r := Decode(outer, e, t.bits)
-	t.dec[id] = r
+	t.mu.Lock()
+	if cached, ok := t.dec[id]; ok {
+		r = cached
+	} else {
+		t.dec[id] = r
+	}
+	t.mu.Unlock()
 	return r, true
 }
 
@@ -101,7 +129,16 @@ func (t *Table) EnlargeToInclude(id uint32, outer geom.Rect, p geom.Point) {
 	if !t.Enabled() {
 		return
 	}
-	live, ok := t.Get(id, outer)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	live, ok := t.dec[id]
+	if !ok {
+		if e, found := t.enc[id]; found {
+			live = Decode(outer, e, t.bits)
+			t.dec[id] = live
+			ok = true
+		}
+	}
 	if !ok {
 		live = geom.Rect{Lo: p.Clone(), Hi: p.Clone()}
 	}
@@ -110,21 +147,29 @@ func (t *Table) EnlargeToInclude(id uint32, outer geom.Rect, p geom.Point) {
 	}
 	live = live.Clone()
 	live.Enlarge(p)
-	t.Set(id, outer, live)
+	t.setLocked(id, outer, live)
 }
 
 // Delete removes id's encoding (when its node is freed).
 func (t *Table) Delete(id uint32) {
+	t.mu.Lock()
 	delete(t.enc, id)
 	delete(t.dec, id)
+	t.mu.Unlock()
 }
 
 // Len returns the number of stored encodings.
-func (t *Table) Len() int { return len(t.enc) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.enc)
+}
 
 // Snapshot returns every stored (id, encoding) pair, for persistence. The
 // encodings are shared, not copied.
 func (t *Table) Snapshot() (ids []uint32, encs []Encoded) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	ids = make([]uint32, 0, len(t.enc))
 	encs = make([]Encoded, 0, len(t.enc))
 	for id, e := range t.enc {
@@ -140,7 +185,9 @@ func (t *Table) Restore(id uint32, enc Encoded) {
 	if !t.Enabled() {
 		return
 	}
+	t.mu.Lock()
 	t.enc[id] = enc
+	t.mu.Unlock()
 }
 
 // Encode quantizes live relative to outer using the given bits per boundary.

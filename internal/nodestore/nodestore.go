@@ -3,9 +3,17 @@
 // the hybrid tree's store, it charges one logical random read per Get even
 // on a cache hit: the experiments count cold disk accesses, and caching is
 // only a construction-speed convenience that must not distort measurements.
+//
+// Get is safe for concurrent callers (the cache is sharded and scratch
+// buffers are pooled); Put, Alloc and Free mutate the index and need the
+// exclusive locking a concurrency layer provides for writers.
 package nodestore
 
-import "hybridtree/internal/pagefile"
+import (
+	"sync"
+
+	"hybridtree/internal/pagefile"
+)
 
 // Codec serializes nodes of type N to and from page bytes.
 type Codec[N any] interface {
@@ -13,39 +21,69 @@ type Codec[N any] interface {
 	Decode(id pagefile.PageID, buf []byte) (N, error)
 }
 
+// shards is the number of independently-locked cache segments.
+const shards = 16
+
+type shard[N any] struct {
+	mu sync.RWMutex
+	m  map[pagefile.PageID]N
+}
+
 // Store is a write-through decoded-node cache.
 type Store[N any] struct {
-	file  pagefile.File
-	codec Codec[N]
-	cache map[pagefile.PageID]N
-	buf   []byte
+	file   pagefile.File
+	codec  Codec[N]
+	shards [shards]shard[N]
+	bufs   sync.Pool // *[]byte scratch pages
 }
 
 // New creates a store over file using codec.
 func New[N any](file pagefile.File, codec Codec[N]) *Store[N] {
-	return &Store[N]{
-		file:  file,
-		codec: codec,
-		cache: make(map[pagefile.PageID]N),
-		buf:   make([]byte, file.PageSize()),
+	s := &Store[N]{file: file, codec: codec}
+	for i := range s.shards {
+		s.shards[i].m = make(map[pagefile.PageID]N)
 	}
+	pageSize := file.PageSize()
+	s.bufs.New = func() any {
+		b := make([]byte, pageSize)
+		return &b
+	}
+	return s
 }
 
-// Get returns the decoded node, counting one logical random read.
+func (s *Store[N]) shard(id pagefile.PageID) *shard[N] {
+	return &s.shards[uint(id)%shards]
+}
+
+// Get returns the decoded node, counting one logical random read. Safe for
+// concurrent callers.
 func (s *Store[N]) Get(id pagefile.PageID) (N, error) {
-	if n, ok := s.cache[id]; ok {
-		s.file.Stats().RandomReads++
+	sh := s.shard(id)
+	sh.mu.RLock()
+	n, ok := sh.m[id]
+	sh.mu.RUnlock()
+	if ok {
+		s.file.Stats().AddRandomReads(1)
 		return n, nil
 	}
 	var zero N
-	if err := s.file.ReadPage(id, s.buf); err != nil {
+	bufp := s.bufs.Get().(*[]byte)
+	if err := s.file.ReadPage(id, *bufp); err != nil {
+		s.bufs.Put(bufp)
 		return zero, err
 	}
-	n, err := s.codec.Decode(id, s.buf)
+	n, err := s.codec.Decode(id, *bufp)
+	s.bufs.Put(bufp)
 	if err != nil {
 		return zero, err
 	}
-	s.cache[id] = n
+	sh.mu.Lock()
+	if cached, ok := sh.m[id]; ok {
+		n = cached // first decode wins; writers see one canonical instance
+	} else {
+		sh.m[id] = n
+	}
+	sh.mu.Unlock()
 	return n, nil
 }
 
@@ -56,24 +94,37 @@ func (s *Store[N]) Alloc() (pagefile.PageID, error) {
 
 // Put writes the node through to its page and caches it.
 func (s *Store[N]) Put(id pagefile.PageID, n N) error {
-	size, err := s.codec.Encode(n, s.buf)
+	bufp := s.bufs.Get().(*[]byte)
+	size, err := s.codec.Encode(n, *bufp)
+	if err == nil {
+		err = s.file.WritePage(id, (*bufp)[:size])
+	}
+	s.bufs.Put(bufp)
 	if err != nil {
 		return err
 	}
-	if err := s.file.WritePage(id, s.buf[:size]); err != nil {
-		return err
-	}
-	s.cache[id] = n
+	sh := s.shard(id)
+	sh.mu.Lock()
+	sh.m[id] = n
+	sh.mu.Unlock()
 	return nil
 }
 
 // Free releases the node's page.
 func (s *Store[N]) Free(id pagefile.PageID) error {
-	delete(s.cache, id)
+	sh := s.shard(id)
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
 	return s.file.Free(id)
 }
 
 // DropCache empties the decoded cache, forcing decodes on subsequent Gets.
 func (s *Store[N]) DropCache() {
-	s.cache = make(map[pagefile.PageID]N)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[pagefile.PageID]N)
+		sh.mu.Unlock()
+	}
 }

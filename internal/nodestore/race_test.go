@@ -1,0 +1,74 @@
+package nodestore
+
+import (
+	"sync"
+	"testing"
+
+	"hybridtree/internal/pagefile"
+)
+
+// TestConcurrentGet hammers Get from many goroutines over a shared store,
+// both warm (cache hits charging atomic counters) and cold (concurrent
+// decode of the same pages racing to populate a shard). Run with -race.
+func TestConcurrentGet(t *testing.T) {
+	file := pagefile.NewMemFile(64)
+	s := New[int](file, intCodec{})
+	const pages = 64
+	ids := make([]pagefile.PageID, pages)
+	for i := range ids {
+		id, err := s.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(id, i); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	s.DropCache() // start cold so concurrent misses race on shard insert
+	file.Stats().Reset()
+
+	const goroutines = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i, id := range ids {
+					v, err := s.Get(id)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if v != i {
+						errs <- errValue{id: id, got: v, want: i}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every Get charged exactly one logical read, hit or miss.
+	want := uint64(goroutines * rounds * pages)
+	if got := file.Stats().Reads(); got != want {
+		t.Fatalf("reads = %d, want %d", got, want)
+	}
+}
+
+type errValue struct {
+	id        pagefile.PageID
+	got, want int
+}
+
+func (e errValue) Error() string {
+	return "wrong value from concurrent Get"
+}

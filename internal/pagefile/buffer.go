@@ -3,6 +3,7 @@ package pagefile
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
 // Buffered wraps a File with an LRU page buffer. Hits are served from memory
@@ -11,7 +12,12 @@ import (
 // The paper's headline numbers are cold (every logical access counted); the
 // harness uses the unbuffered file for those and Buffered for the
 // warm-buffer sensitivity runs.
+//
+// Unlike the raw files, even a logically read-only access reorders the LRU
+// list, so Buffered carries its own mutex and is safe for concurrent use in
+// all operations (reads included) regardless of the contract above it.
 type Buffered struct {
+	mu       sync.Mutex
 	inner    File
 	capacity int
 	lru      *list.List // front = most recent; values are *bufPage
@@ -56,10 +62,10 @@ func (b *Buffered) get(id PageID, seq bool) (*bufPage, error) {
 	p := &bufPage{id: id, data: make([]byte, b.inner.PageSize())}
 	var err error
 	if seq {
-		b.stats.SeqReads++
+		b.stats.AddSeqReads(1)
 		err = b.inner.ReadPageSeq(id, p.data)
 	} else {
-		b.stats.RandomReads++
+		b.stats.AddRandomReads(1)
 		err = b.inner.ReadPage(id, p.data)
 	}
 	if err != nil {
@@ -89,7 +95,7 @@ func (b *Buffered) insert(p *bufPage) {
 }
 
 func (b *Buffered) flushPage(p *bufPage) error {
-	b.stats.Writes++
+	b.stats.AddWrites(1)
 	if err := b.inner.WritePage(p.id, p.data); err != nil {
 		return err
 	}
@@ -99,6 +105,8 @@ func (b *Buffered) flushPage(p *bufPage) error {
 
 // ReadPage implements File.
 func (b *Buffered) ReadPage(id PageID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	p, err := b.get(id, false)
 	if err != nil {
 		return err
@@ -109,6 +117,8 @@ func (b *Buffered) ReadPage(id PageID, buf []byte) error {
 
 // ReadPageSeq implements File.
 func (b *Buffered) ReadPageSeq(id PageID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	p, err := b.get(id, true)
 	if err != nil {
 		return err
@@ -120,6 +130,8 @@ func (b *Buffered) ReadPageSeq(id PageID, buf []byte) error {
 // WritePage implements File; the write is buffered and flushed on eviction,
 // Flush, or Close.
 func (b *Buffered) WritePage(id PageID, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if len(data) > b.inner.PageSize() {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), b.inner.PageSize())
 	}
@@ -144,6 +156,8 @@ func (b *Buffered) Allocate() (PageID, error) { return b.inner.Allocate() }
 
 // Free implements File; it drops any buffered copy first.
 func (b *Buffered) Free(id PageID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if el, ok := b.byID[id]; ok {
 		b.lru.Remove(el)
 		delete(b.byID, id)
@@ -153,6 +167,12 @@ func (b *Buffered) Free(id PageID) error {
 
 // Flush writes every dirty buffered page back to the inner file.
 func (b *Buffered) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushLocked()
+}
+
+func (b *Buffered) flushLocked() error {
 	for el := b.lru.Front(); el != nil; el = el.Next() {
 		p := el.Value.(*bufPage)
 		if p.dirty {
@@ -166,7 +186,9 @@ func (b *Buffered) Flush() error {
 
 // Close implements File: flush then close the inner file.
 func (b *Buffered) Close() error {
-	if err := b.Flush(); err != nil {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.flushLocked(); err != nil {
 		return err
 	}
 	return b.inner.Close()

@@ -1,0 +1,35 @@
+package pagefile
+
+import "time"
+
+// Latency wraps a File and adds a fixed delay to every page read,
+// simulating a storage device with non-zero access time. It exists for the
+// parallel-throughput experiments: on an in-memory file a query is pure
+// CPU and read parallelism only pays with multiple cores, but with
+// per-read latency — the regime the paper's disk-access cost model
+// describes — concurrent readers overlap their waits, so the read-parallel
+// path beats a single-mutex path even on one core. The wrapper adds no
+// state of its own, so it is exactly as concurrency-safe as the inner
+// file.
+type Latency struct {
+	File
+	// ReadDelay is slept on every ReadPage/ReadPageSeq call.
+	ReadDelay time.Duration
+}
+
+// WithLatency wraps inner, adding delay to every page read.
+func WithLatency(inner File, delay time.Duration) *Latency {
+	return &Latency{File: inner, ReadDelay: delay}
+}
+
+// ReadPage implements File with simulated access latency.
+func (l *Latency) ReadPage(id PageID, buf []byte) error {
+	time.Sleep(l.ReadDelay)
+	return l.File.ReadPage(id, buf)
+}
+
+// ReadPageSeq implements File with simulated access latency.
+func (l *Latency) ReadPageSeq(id PageID, buf []byte) error {
+	time.Sleep(l.ReadDelay)
+	return l.File.ReadPageSeq(id, buf)
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page within a File.
@@ -26,6 +27,14 @@ const DefaultPageSize = 4096
 // Stats counts page-level operations. Random and sequential reads are kept
 // separate because the paper's normalized I/O cost model charges sequential
 // reads one tenth of a random read.
+//
+// Counters shared between goroutines must be bumped through the Add*
+// methods, which are atomic; concurrent searches each charge their logical
+// accesses this way, so totals stay exact (the paper's I/O metric is a
+// count, and counts commute). Direct field access remains valid for value
+// snapshots and single-threaded code (tests, struct literals), but racing a
+// plain field read against Add* is undefined — use Snapshot or the atomic
+// accessors when counters may be live.
 type Stats struct {
 	RandomReads uint64
 	SeqReads    uint64
@@ -34,12 +43,47 @@ type Stats struct {
 	Frees       uint64
 }
 
+// AddRandomReads atomically adds n random reads.
+func (s *Stats) AddRandomReads(n uint64) { atomic.AddUint64(&s.RandomReads, n) }
+
+// AddSeqReads atomically adds n sequential reads.
+func (s *Stats) AddSeqReads(n uint64) { atomic.AddUint64(&s.SeqReads, n) }
+
+// AddWrites atomically adds n writes.
+func (s *Stats) AddWrites(n uint64) { atomic.AddUint64(&s.Writes, n) }
+
+// AddAllocs atomically adds n allocations.
+func (s *Stats) AddAllocs(n uint64) { atomic.AddUint64(&s.Allocs, n) }
+
+// AddFrees atomically adds n frees.
+func (s *Stats) AddFrees(n uint64) { atomic.AddUint64(&s.Frees, n) }
+
+// Snapshot returns an atomically-read copy of the counters, safe to take
+// while other goroutines are still counting.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		RandomReads: atomic.LoadUint64(&s.RandomReads),
+		SeqReads:    atomic.LoadUint64(&s.SeqReads),
+		Writes:      atomic.LoadUint64(&s.Writes),
+		Allocs:      atomic.LoadUint64(&s.Allocs),
+		Frees:       atomic.LoadUint64(&s.Frees),
+	}
+}
+
 // Reset zeroes all counters (used between the build and query phases of an
 // experiment).
-func (s *Stats) Reset() { *s = Stats{} }
+func (s *Stats) Reset() {
+	atomic.StoreUint64(&s.RandomReads, 0)
+	atomic.StoreUint64(&s.SeqReads, 0)
+	atomic.StoreUint64(&s.Writes, 0)
+	atomic.StoreUint64(&s.Allocs, 0)
+	atomic.StoreUint64(&s.Frees, 0)
+}
 
 // Reads returns the total number of reads of either kind.
-func (s *Stats) Reads() uint64 { return s.RandomReads + s.SeqReads }
+func (s *Stats) Reads() uint64 {
+	return atomic.LoadUint64(&s.RandomReads) + atomic.LoadUint64(&s.SeqReads)
+}
 
 // NormalizedIO returns the paper's normalized I/O cost for these stats given
 // the size (in pages) of a sequential scan of the whole file: random reads
@@ -49,12 +93,17 @@ func (s *Stats) NormalizedIO(scanPages int) float64 {
 	if scanPages == 0 {
 		return 0
 	}
-	return (float64(s.RandomReads) + float64(s.SeqReads)/10) / float64(scanPages)
+	random := atomic.LoadUint64(&s.RandomReads)
+	seq := atomic.LoadUint64(&s.SeqReads)
+	return (float64(random) + float64(seq)/10) / float64(scanPages)
 }
 
-// File is a collection of fixed-size pages. Implementations must be safe for
-// use from a single goroutine; indexes wanting concurrency add their own
-// locking above this layer.
+// File is a collection of fixed-size pages. Implementations must allow any
+// number of concurrent ReadPage/ReadPageSeq/Stats calls; mutating calls
+// (WritePage, Allocate, Free, Close) require external exclusion against all
+// other calls, which the index-level reader/writer locking above this layer
+// provides. All implementations in this package count through the atomic
+// Stats methods, so access accounting stays exact under concurrent readers.
 type File interface {
 	// PageSize returns the fixed page size in bytes.
 	PageSize() int
@@ -88,7 +137,9 @@ var (
 
 // MemFile is an in-memory File. It is what the benchmark harness uses: the
 // paper's I/O metric is a *count* of page accesses, so the measurements do
-// not require physically spinning a disk.
+// not require physically spinning a disk. Reads are safe to run
+// concurrently (page contents are only read and counters are atomic);
+// writes need external exclusion per the File contract.
 type MemFile struct {
 	pageSize int
 	pages    [][]byte
@@ -133,7 +184,7 @@ func (f *MemFile) ReadPage(id PageID, buf []byte) error {
 	if err := f.check(id); err != nil {
 		return err
 	}
-	f.stats.RandomReads++
+	f.stats.AddRandomReads(1)
 	copy(buf, f.pages[id])
 	return nil
 }
@@ -143,7 +194,7 @@ func (f *MemFile) ReadPageSeq(id PageID, buf []byte) error {
 	if err := f.check(id); err != nil {
 		return err
 	}
-	f.stats.SeqReads++
+	f.stats.AddSeqReads(1)
 	copy(buf, f.pages[id])
 	return nil
 }
@@ -156,7 +207,7 @@ func (f *MemFile) WritePage(id PageID, data []byte) error {
 	if len(data) > f.pageSize {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), f.pageSize)
 	}
-	f.stats.Writes++
+	f.stats.AddWrites(1)
 	page := f.pages[id]
 	n := copy(page, data)
 	for i := n; i < len(page); i++ {
@@ -170,7 +221,7 @@ func (f *MemFile) Allocate() (PageID, error) {
 	if f.closed {
 		return InvalidPage, ErrClosed
 	}
-	f.stats.Allocs++
+	f.stats.AddAllocs(1)
 	if n := len(f.freed); n > 0 {
 		id := f.freed[n-1]
 		f.freed = f.freed[:n-1]
@@ -187,7 +238,7 @@ func (f *MemFile) Free(id PageID) error {
 	if err := f.check(id); err != nil {
 		return err
 	}
-	f.stats.Frees++
+	f.stats.AddFrees(1)
 	f.freed = append(f.freed, id)
 	f.isFree[id] = true
 	return nil
@@ -295,7 +346,7 @@ func (f *DiskFile) read(id PageID, buf []byte) error {
 func (f *DiskFile) ReadPage(id PageID, buf []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.stats.RandomReads++
+	f.stats.AddRandomReads(1)
 	return f.read(id, buf)
 }
 
@@ -303,7 +354,7 @@ func (f *DiskFile) ReadPage(id PageID, buf []byte) error {
 func (f *DiskFile) ReadPageSeq(id PageID, buf []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.stats.SeqReads++
+	f.stats.AddSeqReads(1)
 	return f.read(id, buf)
 }
 
@@ -317,7 +368,7 @@ func (f *DiskFile) WritePage(id PageID, data []byte) error {
 	if len(data) > f.pageSize {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), f.pageSize)
 	}
-	f.stats.Writes++
+	f.stats.AddWrites(1)
 	page := make([]byte, f.pageSize)
 	copy(page, data)
 	if _, err := f.f.WriteAt(page, int64(id)*int64(f.pageSize)); err != nil {
@@ -333,7 +384,7 @@ func (f *DiskFile) Allocate() (PageID, error) {
 	if f.f == nil {
 		return InvalidPage, ErrClosed
 	}
-	f.stats.Allocs++
+	f.stats.AddAllocs(1)
 	if n := len(f.freed); n > 0 {
 		id := f.freed[n-1]
 		f.freed = f.freed[:n-1]
@@ -355,7 +406,7 @@ func (f *DiskFile) Free(id PageID) error {
 	if err := f.check(id); err != nil {
 		return err
 	}
-	f.stats.Frees++
+	f.stats.AddFrees(1)
 	f.freed = append(f.freed, id)
 	f.isFree[id] = true
 	return nil
