@@ -10,20 +10,38 @@ import (
 	"hybridtree/internal/geom"
 )
 
+// ctxPool recycles query contexts across batches: each batch worker checks
+// one context out for the lifetime of its whole query slice, so every query
+// after the worker's first runs on warm scratch state (rect arena, kd-walk
+// stacks, frontier heap) without touching the allocator or the pool.
+var ctxPool sync.Pool
+
+func getCtx() *core.QueryContext {
+	if v := ctxPool.Get(); v != nil {
+		return v.(*core.QueryContext)
+	}
+	return core.NewQueryContext()
+}
+
+func putCtx(c *core.QueryContext) { ctxPool.Put(c) }
+
 // runBatch fans n work items across a bounded pool of min(GOMAXPROCS, n)
-// workers pulling indices from a shared atomic counter. Each item acquires
-// the tree's read lock independently, so writers can interleave between
-// queries of a long batch instead of starving behind it. The first error
-// stops the remaining workers (in-flight items finish); results already
-// produced stay in place and the error is returned.
-func (t *Tree) runBatch(n int, do func(i int) error) error {
+// workers pulling indices from a shared atomic counter. Each worker owns one
+// pooled query context for its entire slice, and each item acquires the
+// tree's read lock independently, so writers can interleave between queries
+// of a long batch instead of starving behind it. The first error stops the
+// remaining workers (in-flight items finish); results already produced stay
+// in place and the error is returned.
+func (t *Tree) runBatch(n int, do func(c *core.QueryContext, i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		c := getCtx()
+		defer putCtx(c)
 		for i := 0; i < n; i++ {
-			if err := do(i); err != nil {
+			if err := do(c, i); err != nil {
 				return err
 			}
 		}
@@ -40,12 +58,14 @@ func (t *Tree) runBatch(n int, do func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			c := getCtx()
+			defer putCtx(c)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := do(i); err != nil {
+				if err := do(c, i); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 					return
@@ -63,11 +83,14 @@ func (t *Tree) runBatch(n int, do func(i int) error) error {
 // unfinished slots are nil.
 func (t *Tree) SearchKNNBatch(qs []geom.Point, k int, m dist.Metric) ([][]core.Neighbor, error) {
 	out := make([][]core.Neighbor, len(qs))
-	err := t.runBatch(len(qs), func(i int) error {
-		ns, err := t.SearchKNN(qs[i], k, m)
+	err := t.runBatch(len(qs), func(c *core.QueryContext, i int) error {
+		t.mu.RLock()
+		ns, err := t.tree.SearchKNNCtx(c, qs[i], k, m, nil)
+		t.mu.RUnlock()
 		if err != nil {
 			return err
 		}
+		cloneNeighbors(ns)
 		out[i] = ns
 		return nil
 	})
@@ -78,11 +101,14 @@ func (t *Tree) SearchKNNBatch(qs []geom.Point, k int, m dist.Metric) ([][]core.N
 // out[i] corresponds to qs[i].
 func (t *Tree) SearchBoxBatch(qs []geom.Rect) ([][]core.Entry, error) {
 	out := make([][]core.Entry, len(qs))
-	err := t.runBatch(len(qs), func(i int) error {
-		es, err := t.SearchBox(qs[i])
+	err := t.runBatch(len(qs), func(c *core.QueryContext, i int) error {
+		t.mu.RLock()
+		es, err := t.tree.SearchBoxCtx(c, qs[i], nil)
+		t.mu.RUnlock()
 		if err != nil {
 			return err
 		}
+		cloneEntries(es)
 		out[i] = es
 		return nil
 	})
@@ -99,11 +125,14 @@ type RangeQuery struct {
 // parallel; out[i] corresponds to qs[i].
 func (t *Tree) SearchRangeBatch(qs []RangeQuery, m dist.Metric) ([][]core.Neighbor, error) {
 	out := make([][]core.Neighbor, len(qs))
-	err := t.runBatch(len(qs), func(i int) error {
-		ns, err := t.SearchRange(qs[i].Center, qs[i].Radius, m)
+	err := t.runBatch(len(qs), func(c *core.QueryContext, i int) error {
+		t.mu.RLock()
+		ns, err := t.tree.SearchRangeCtx(c, qs[i].Center, qs[i].Radius, m, nil)
+		t.mu.RUnlock()
 		if err != nil {
 			return err
 		}
+		cloneNeighbors(ns)
 		out[i] = ns
 		return nil
 	})

@@ -295,3 +295,69 @@ func TestBatchError(t *testing.T) {
 		t.Fatal("batch with bad query reported success")
 	}
 }
+
+// TestBatchContextPoolStress drives several whole batches concurrently —
+// each batch checks worker contexts out of the shared pool — while writers
+// mutate the tree between queries. Run under -race this proves a pooled
+// query context is never live in two batch workers at once (the context's
+// busy flag would also panic), and that every batch still returns exactly
+// what a serial query returns at some consistent point in time.
+func TestBatchContextPoolStress(t *testing.T) {
+	const (
+		dim     = 6
+		seedN   = 2000
+		batches = 6
+		queries = 80
+	)
+	tree, pts := buildTree(t, dim, seedN, 512)
+	rng := rand.New(rand.NewSource(7))
+
+	qs := make([]geom.Point, queries)
+	for i := range qs {
+		qs[i] = pts[rng.Intn(len(pts))].Clone()
+	}
+	want, err := tree.SearchKNNBatch(qs, 5, dist.L2())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, batches+1)
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := tree.SearchKNNBatch(qs, 5, dist.L2())
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("batch result %d differs across concurrent batches", i)
+					return
+				}
+			}
+		}()
+	}
+	// One writer forcing lock handoffs between batch items. Each update
+	// rewrites a record with its own vector, so the tree's contents — and
+	// therefore every batch's expected results — never change.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(8))
+		for i := 0; i < 50; i++ {
+			j := wrng.Intn(len(pts))
+			if _, err := tree.Update(pts[j], pts[j], core.RecordID(j)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

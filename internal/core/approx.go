@@ -1,12 +1,8 @@
 package core
 
 import (
-	"fmt"
-
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
-	"hybridtree/internal/pagefile"
-	"hybridtree/internal/pqueue"
 )
 
 // SearchKNNApprox is (1+epsilon)-approximate k-nearest-neighbor search —
@@ -18,82 +14,13 @@ import (
 // (1+epsilon) factor of the true k-th distance, in exchange for visiting
 // fewer pages. epsilon = 0 degenerates to exact search.
 func (t *Tree) SearchKNNApprox(q geom.Point, k int, m dist.Metric, epsilon float64) ([]Neighbor, error) {
-	if len(q) != t.cfg.Dim {
-		return nil, fmt.Errorf("core: query has dim %d, tree expects %d", len(q), t.cfg.Dim)
-	}
-	if k < 1 {
-		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
-	}
-	if epsilon < 0 {
-		return nil, fmt.Errorf("core: epsilon %g must be >= 0", epsilon)
-	}
-	shrink := 1 / (1 + epsilon)
+	c := t.getCtx()
+	defer t.putCtx(c)
+	return t.searchKNN(c, q, k, m, epsilon, nil)
+}
 
-	type frontier struct {
-		id pagefile.PageID
-		br geom.Rect
-	}
-	var pq pqueue.Min[frontier]
-	best := pqueue.NewKBest[Neighbor](k)
-	pq.Push(frontier{id: t.root, br: t.cfg.Space}, 0)
-	for pq.Len() > 0 {
-		f, mindist := pq.Pop()
-		if best.Full() && mindist > best.Bound()*shrink {
-			break
-		}
-		n, err := t.store.get(f.id)
-		if err != nil {
-			return nil, err
-		}
-		if n.leaf {
-			for i, p := range n.pts {
-				d := m.Distance(q, p)
-				best.Offer(Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d}, d)
-			}
-			continue
-		}
-		brWalk := f.br.Clone()
-		scratch := geom.Rect{Lo: make(geom.Point, t.cfg.Dim), Hi: make(geom.Point, t.cfg.Dim)}
-		var walk func(idx int32)
-		walk = func(idx int32) {
-			k2 := &n.kd[idx]
-			if k2.isLeaf() {
-				var md float64
-				if live, ok := t.els.Get(uint32(k2.Child), t.cfg.Space); ok {
-					if !intersectInto(&scratch, brWalk, live) {
-						return
-					}
-					md = m.MinDistRect(q, scratch)
-				} else {
-					md = m.MinDistRect(q, brWalk)
-				}
-				if !best.Full() || md <= best.Bound()*shrink {
-					pq.Push(frontier{id: k2.Child, br: brWalk.Clone()}, md)
-				}
-				return
-			}
-			d := int(k2.Dim)
-			oldHi := brWalk.Hi[d]
-			if k2.Lsp < oldHi {
-				brWalk.Hi[d] = k2.Lsp
-			}
-			if brWalk.Hi[d] >= brWalk.Lo[d] {
-				walk(k2.Left)
-			}
-			brWalk.Hi[d] = oldHi
-			oldLo := brWalk.Lo[d]
-			if k2.Rsp > oldLo {
-				brWalk.Lo[d] = k2.Rsp
-			}
-			if brWalk.Hi[d] >= brWalk.Lo[d] {
-				walk(k2.Right)
-			}
-			brWalk.Lo[d] = oldLo
-		}
-		if n.kdRoot != kdNone {
-			walk(n.kdRoot)
-		}
-	}
-	neighbors, _ := best.Sorted()
-	return neighbors, nil
+// SearchKNNApproxCtx is SearchKNNApprox with caller-managed scratch state
+// and result buffer (see SearchBoxCtx).
+func (t *Tree) SearchKNNApproxCtx(c *QueryContext, q geom.Point, k int, m dist.Metric, epsilon float64, dst []Neighbor) ([]Neighbor, error) {
+	return t.searchKNN(c, q, k, m, epsilon, dst)
 }

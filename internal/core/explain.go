@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"hybridtree/internal/geom"
-	"hybridtree/internal/pagefile"
 )
 
 // Explanation describes how a box query traversed the tree: per level, how
@@ -48,82 +47,103 @@ func (t *Tree) ExplainBox(q geom.Rect) ([]Entry, *Explanation, error) {
 	if q.Dim() != t.cfg.Dim {
 		return nil, nil, fmt.Errorf("core: query has dim %d, tree expects %d", q.Dim(), t.cfg.Dim)
 	}
+	c := t.getCtx()
+	defer t.putCtx(c)
+	qc := &c.qc
+	qc.acquire(t.cfg.Dim)
+	defer qc.release()
+
 	ex := &Explanation{Levels: make([]LevelStats, t.height)}
 	var out []Entry
-	err := t.explainAt(t.root, t.cfg.Space, q, 0, ex, &out)
+	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space)})
+	for len(pending) > 0 {
+		v := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		qc.arena.copyOut(v.slot, qc.walk)
+		qc.arena.release(v.slot)
+		n, err := t.store.get(v.child)
+		if err != nil {
+			qc.pending = pending[:0]
+			ex.Results = len(out)
+			return out, ex, err
+		}
+		for int(v.level) >= len(ex.Levels) {
+			// Defensive: stale height after concurrent-looking misuse; grow.
+			ex.Levels = append(ex.Levels, LevelStats{})
+		}
+		ls := &ex.Levels[v.level]
+		ls.NodesRead++
+		if n.leaf {
+			for i, p := range n.pts {
+				if q.Contains(p) {
+					ls.EntriesHit++
+					out = append(out, Entry{Point: p, RID: n.rids[i]})
+				}
+			}
+			continue
+		}
+		if n.kdRoot == kdNone {
+			continue
+		}
+		mark := len(pending)
+		pending = t.kdWalkExplain(qc, n, q, ls, v.level+1, pending)
+		reverseVisits(pending[mark:])
+	}
+	qc.pending = pending[:0]
 	ex.Results = len(out)
-	return out, ex, err
+	return out, ex, nil
 }
 
-func (t *Tree) explainAt(id pagefile.PageID, br geom.Rect, q geom.Rect, level int, ex *Explanation, out *[]Entry) error {
-	n, err := t.store.get(id)
-	if err != nil {
-		return err
-	}
-	if level >= len(ex.Levels) {
-		// Defensive: stale height after concurrent-looking misuse; grow.
-		ex.Levels = append(ex.Levels, LevelStats{})
-	}
-	ls := &ex.Levels[level]
-	ls.NodesRead++
-	if n.leaf {
-		for i, p := range n.pts {
-			if q.Contains(p) {
-				ls.EntriesHit++
-				*out = append(*out, Entry{Point: p, RID: n.rids[i]})
+// kdWalkExplain is kdWalkBox with per-disposition accounting: kd prunes,
+// live-space prunes, and descents are charged to the current node's level.
+func (t *Tree) kdWalkExplain(qc *queryCtx, n *node, q geom.Rect, ls *LevelStats, childLevel int32, pending []visitRef) []visitRef {
+	br := qc.walk
+	st := append(qc.frames, kdFrame{idx: n.kdRoot})
+	for len(st) > 0 {
+		f := &st[len(st)-1]
+		k := &n.kd[f.idx]
+		switch f.stage {
+		case 0:
+			if k.isLeaf() {
+				st = st[:len(st)-1]
+				live, ok := t.els.Get(uint32(k.Child), t.cfg.Space)
+				if ok && !live.Intersects(q) {
+					ls.ELSPruned++
+					continue
+				}
+				ls.Descended++
+				pending = append(pending, visitRef{child: k.Child, slot: qc.arena.put(br), level: childLevel})
+				continue
 			}
-		}
-		return nil
-	}
-	if n.kdRoot == kdNone {
-		return nil
-	}
-	type visit struct {
-		child pagefile.PageID
-		br    geom.Rect
-	}
-	var visits []visit
-	brWalk := br.Clone()
-	var walk func(idx int32)
-	walk = func(idx int32) {
-		k := &n.kd[idx]
-		if k.isLeaf() {
-			live, ok := t.els.Get(uint32(k.Child), t.cfg.Space)
-			if ok && !live.Intersects(q) {
-				ls.ELSPruned++
-				return
+			d := int(k.Dim)
+			f.saved = br.Hi[d]
+			f.stage = 1
+			if k.Lsp < br.Hi[d] {
+				br.Hi[d] = k.Lsp
 			}
-			ls.Descended++
-			visits = append(visits, visit{child: k.Child, br: brWalk.Clone()})
-			return
-		}
-		d := int(k.Dim)
-		oldHi := brWalk.Hi[d]
-		if k.Lsp < oldHi {
-			brWalk.Hi[d] = k.Lsp
-		}
-		if q.Lo[d] <= brWalk.Hi[d] && brWalk.Hi[d] >= brWalk.Lo[d] {
-			walk(k.Left)
-		} else {
-			ls.KDPruned++
-		}
-		brWalk.Hi[d] = oldHi
-		oldLo := brWalk.Lo[d]
-		if k.Rsp > oldLo {
-			brWalk.Lo[d] = k.Rsp
-		}
-		if q.Hi[d] >= brWalk.Lo[d] && brWalk.Hi[d] >= brWalk.Lo[d] {
-			walk(k.Right)
-		} else {
-			ls.KDPruned++
-		}
-		brWalk.Lo[d] = oldLo
-	}
-	walk(n.kdRoot)
-	for _, v := range visits {
-		if err := t.explainAt(v.child, v.br, q, level+1, ex, out); err != nil {
-			return err
+			if q.Lo[d] <= br.Hi[d] && br.Hi[d] >= br.Lo[d] {
+				st = append(st, kdFrame{idx: k.Left})
+			} else {
+				ls.KDPruned++
+			}
+		case 1:
+			d := int(k.Dim)
+			br.Hi[d] = f.saved
+			f.saved = br.Lo[d]
+			f.stage = 2
+			if k.Rsp > br.Lo[d] {
+				br.Lo[d] = k.Rsp
+			}
+			if q.Hi[d] >= br.Lo[d] && br.Hi[d] >= br.Lo[d] {
+				st = append(st, kdFrame{idx: k.Right})
+			} else {
+				ls.KDPruned++
+			}
+		default:
+			br.Lo[int(k.Dim)] = f.saved
+			st = st[:len(st)-1]
 		}
 	}
-	return nil
+	qc.frames = st[:0]
+	return pending
 }

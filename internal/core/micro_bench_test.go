@@ -49,6 +49,7 @@ func BenchmarkInsert16d(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := tree.Insert(pts[i], RecordID(i)); err != nil {
@@ -64,6 +65,7 @@ func BenchmarkInsert64d(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := tree.Insert(pts[i], RecordID(i)); err != nil {
@@ -78,6 +80,7 @@ func BenchmarkBulkLoad16d(b *testing.B) {
 	for i := range rids {
 		rids[i] = RecordID(i)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		file := pagefile.NewMemFile(pagefile.DefaultPageSize)
@@ -94,6 +97,7 @@ func BenchmarkSearchBox16d(b *testing.B) {
 	for i := range queries {
 		queries[i] = randQueryRect(rng, 16, 0.4)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tree.SearchBox(queries[i%len(queries)]); err != nil {
@@ -104,6 +108,7 @@ func BenchmarkSearchBox16d(b *testing.B) {
 
 func BenchmarkSearchKNN16d(b *testing.B) {
 	tree, pts := benchTree(b, 20000, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tree.SearchKNN(pts[i%len(pts)], 10, dist.L2()); err != nil {
@@ -114,6 +119,7 @@ func BenchmarkSearchKNN16d(b *testing.B) {
 
 func BenchmarkSearchKNNApprox16d(b *testing.B) {
 	tree, pts := benchTree(b, 20000, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tree.SearchKNNApprox(pts[i%len(pts)], 10, dist.L2(), 1.0); err != nil {
@@ -124,6 +130,7 @@ func BenchmarkSearchKNNApprox16d(b *testing.B) {
 
 func BenchmarkSearchRangeL1_64d(b *testing.B) {
 	tree, pts := benchTree(b, 10000, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tree.SearchRange(pts[i%len(pts)], 0.8, dist.L1()); err != nil {
@@ -144,6 +151,7 @@ func BenchmarkDelete16d(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		found, err := tree.Delete(pts[i], RecordID(i))
@@ -164,6 +172,7 @@ func BenchmarkNodeEncode64d(b *testing.B) {
 		n.rids = append(n.rids, RecordID(i))
 	}
 	buf := make([]byte, pagefile.DefaultPageSize)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := n.encode(buf, 64); err != nil {
@@ -184,9 +193,66 @@ func BenchmarkNodeDecode64d(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := decodeNode(1, buf[:size], 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ctx-variant benchmarks: steady-state costs with a caller-held query
+// context and recycled result buffer. With all nodes cached these should
+// report ~0 allocs/op — the headline number of the zero-allocation hot
+// path (compare BenchmarkSearchKNN16d, which pays a pooled-context
+// check-out plus a fresh result slice per call).
+
+func BenchmarkSearchBoxCtx16d(b *testing.B) {
+	tree, _ := benchTree(b, 20000, 16)
+	rng := rand.New(rand.NewSource(5))
+	queries := make([]geom.Rect, 64)
+	for i := range queries {
+		queries[i] = randQueryRect(rng, 16, 0.4)
+	}
+	c := NewQueryContext()
+	var dst []Entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = tree.SearchBoxCtx(c, queries[i%len(queries)], dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchKNNCtx16d(b *testing.B) {
+	tree, pts := benchTree(b, 20000, 16)
+	c := NewQueryContext()
+	var dst []Neighbor
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = tree.SearchKNNCtx(c, pts[i%len(pts)], 10, dist.L2(), dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchRangeCtxL2_16d(b *testing.B) {
+	tree, pts := benchTree(b, 20000, 16)
+	c := NewQueryContext()
+	var dst []Neighbor
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = tree.SearchRangeCtx(c, pts[i%len(pts)], 0.5, dist.L2(), dst[:0])
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+	"hybridtree/internal/pqueue"
+)
+
+// QueryContext carries the reusable scratch state of one in-flight search:
+// a rectangle arena, the kd-walk frame stack, the pending-visit stack, the
+// best-first frontier heap and the k-best collector. A context may be reused
+// across any number of queries (of any dimensionality and query type) but
+// must never be used by two searches at once; the plain search methods pull
+// one from a per-tree sync.Pool, while batch executors hold one per worker
+// for the lifetime of the worker's query slice. A warm context makes the
+// cached-node query path allocation-free except for the result slice, which
+// the *Ctx search variants let the caller recycle too.
+type QueryContext struct {
+	qc queryCtx
+}
+
+// NewQueryContext returns an empty context; it sizes itself lazily on first
+// use and is not tied to any particular tree.
+func NewQueryContext() *QueryContext { return &QueryContext{} }
+
+// getCtx takes a context from the tree's pool (allocating on a cold pool).
+func (t *Tree) getCtx() *QueryContext {
+	if v := t.qcPool.Get(); v != nil {
+		return v.(*QueryContext)
+	}
+	return NewQueryContext()
+}
+
+// putCtx returns a context to the pool for the next query.
+func (t *Tree) putCtx(c *QueryContext) { t.qcPool.Put(c) }
+
+// visitRef is one pending subtree visit: a child page plus the arena slot
+// holding its mapped bounding region. level is used only by ExplainBox.
+type visitRef struct {
+	child pagefile.PageID
+	slot  int32
+	level int32
+}
+
+// kdFrame is one suspended position of the iterative intra-node kd walk.
+// stage 0 = node not yet expanded; 1 = left subtree done (upper boundary
+// still narrowed); 2 = right subtree done (lower boundary still narrowed).
+// saved holds the boundary coordinate the current stage must restore.
+type kdFrame struct {
+	idx   int32
+	stage uint8
+	saved float32
+}
+
+// queryCtx is the inner, unexported state of a QueryContext.
+type queryCtx struct {
+	dim  int
+	busy bool // guards against concurrent use of one context
+
+	arena   rectArena
+	frames  []kdFrame
+	pending []visitRef
+	pq      pqueue.Min[visitRef]
+	best    *pqueue.KBest[Neighbor]
+
+	// walk is the current node's mutable bounding region (narrowed and
+	// restored one boundary at a time during the kd walk); scratch holds
+	// walk ∩ live-space intersections. Both view the coords backing array.
+	walk    geom.Rect
+	scratch geom.Rect
+	coords  []float32
+}
+
+// acquire readies the context for one query of the given dimensionality.
+// It panics when the context is already driving another search: sharing a
+// context between concurrent queries would silently corrupt both.
+func (qc *queryCtx) acquire(dim int) {
+	if qc.busy {
+		panic("core: QueryContext used by two searches at once")
+	}
+	qc.busy = true
+	if qc.dim != dim {
+		qc.dim = dim
+		qc.coords = make([]float32, 4*dim)
+		qc.walk = geom.Rect{Lo: qc.coords[0:dim], Hi: qc.coords[dim : 2*dim]}
+		qc.scratch = geom.Rect{Lo: qc.coords[2*dim : 3*dim], Hi: qc.coords[3*dim : 4*dim]}
+	}
+	qc.arena.reset(dim)
+	qc.frames = qc.frames[:0]
+	qc.pending = qc.pending[:0]
+	qc.pq.Reset()
+}
+
+// release marks the context idle again.
+func (qc *queryCtx) release() { qc.busy = false }
+
+// kbest returns the context's k-best collector, reset for a fresh query;
+// the collector is rebuilt only when k changes.
+func (qc *queryCtx) kbest(k int) *pqueue.KBest[Neighbor] {
+	if qc.best == nil || qc.best.K() != k {
+		qc.best = pqueue.NewKBest[Neighbor](k)
+	} else {
+		qc.best.Reset()
+	}
+	return qc.best
+}
+
+// rectArena stores the bounding regions of pending visits as index-addressed
+// slots in one flat backing array: slot s occupies
+// buf[2*s*dim : 2*(s+1)*dim], lower corner first. Replacing every per-visit
+// geom.Rect clone (two slice allocations) with a copy into a slot is what
+// removes the traversal's allocation-per-node behavior; the arena itself
+// grows to a query's high-water mark once and is then reused verbatim by
+// every later query on the same context.
+type rectArena struct {
+	dim  int
+	buf  []float32
+	free []int32
+	top  int32
+}
+
+// reset prepares the arena for a new query, keeping its backing storage
+// when the dimensionality is unchanged.
+func (a *rectArena) reset(dim int) {
+	if a.dim != dim {
+		a.dim = dim
+		a.buf = a.buf[:0:0]
+	}
+	a.top = 0
+	a.free = a.free[:0]
+}
+
+// put copies r into a free slot and returns the slot index.
+func (a *rectArena) put(r geom.Rect) int32 {
+	var s int32
+	if n := len(a.free); n > 0 {
+		s = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		s = a.top
+		a.top++
+		if need := int(a.top) * 2 * a.dim; need > len(a.buf) {
+			a.buf = append(a.buf, make([]float32, need-len(a.buf))...)
+		}
+	}
+	off := int(s) * 2 * a.dim
+	copy(a.buf[off:off+a.dim], r.Lo)
+	copy(a.buf[off+a.dim:off+2*a.dim], r.Hi)
+	return s
+}
+
+// copyOut copies slot s into dst, whose corners must already have the
+// arena's dimensionality.
+func (a *rectArena) copyOut(s int32, dst geom.Rect) {
+	off := int(s) * 2 * a.dim
+	copy(dst.Lo, a.buf[off:off+a.dim])
+	copy(dst.Hi, a.buf[off+a.dim:off+2*a.dim])
+}
+
+// release returns slot s to the free list.
+func (a *rectArena) release(s int32) { a.free = append(a.free, s) }
+
+// reverseVisits flips a just-appended run of visits so that popping the
+// pending stack yields them in kd order — the same depth-first order the
+// recursive implementation produced.
+func reverseVisits(v []visitRef) {
+	for i, j := 0, len(v)-1; i < j; i, j = i+1, j-1 {
+		v[i], v[j] = v[j], v[i]
+	}
+}

@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
-	"hybridtree/internal/pagefile"
 	"hybridtree/internal/pqueue"
 )
 
@@ -21,83 +21,118 @@ type Neighbor struct {
 	Dist float64
 }
 
+// The search implementations below are allocation-free on the cached-node
+// path: inter-node traversal runs over an explicit pending stack (or the
+// best-first frontier heap) of visitRefs whose bounding regions live in the
+// QueryContext's rect arena, and the intra-node kd walk is an iterative loop
+// over reusable kdFrames instead of a recursive closure. Traversal order —
+// and therefore result order and the Stats accounting — is identical to the
+// recursive implementation: a node's surviving kd-leaves are pushed in
+// reverse kd order so the stack pops them in kd order, exactly the
+// depth-first sequence recursion produced.
+
 // SearchBox returns every entry whose vector lies inside q (boundaries
 // inclusive) — the feature-based bounding-box query of Section 3.5, and the
 // query type of the paper's Figures 5 and 6.
 func (t *Tree) SearchBox(q geom.Rect) ([]Entry, error) {
-	if q.Dim() != t.cfg.Dim {
-		return nil, fmt.Errorf("core: query has dim %d, tree expects %d", q.Dim(), t.cfg.Dim)
-	}
-	var out []Entry
-	err := t.boxAt(t.root, t.cfg.Space, q, &out)
-	return out, err
+	c := t.getCtx()
+	defer t.putCtx(c)
+	return t.SearchBoxCtx(c, q, nil)
 }
 
-// boxAt performs box search below one node. The intra-node kd-tree is
-// navigated by narrowing one boundary per internal record and re-testing
-// only that boundary — the "a boundary is checked only once" property that
-// gives the hybrid tree its intranode speed advantage over array-of-BR
-// structures (Section 3.1).
-func (t *Tree) boxAt(id pagefile.PageID, br geom.Rect, q geom.Rect, out *[]Entry) error {
-	n, err := t.store.get(id)
-	if err != nil {
-		return err
+// SearchBoxCtx is SearchBox with caller-managed scratch state: results are
+// appended to dst (which may be nil or a recycled buffer). A caller that
+// reuses both c and dst runs the cached-node query path without allocating.
+// On error the entries appended so far remain in the returned slice.
+func (t *Tree) SearchBoxCtx(c *QueryContext, q geom.Rect, dst []Entry) ([]Entry, error) {
+	if q.Dim() != t.cfg.Dim {
+		return dst, fmt.Errorf("core: query has dim %d, tree expects %d", q.Dim(), t.cfg.Dim)
 	}
-	if n.leaf {
-		for i, p := range n.pts {
-			if q.Contains(p) {
-				*out = append(*out, Entry{Point: p, RID: n.rids[i]})
+	qc := &c.qc
+	qc.acquire(t.cfg.Dim)
+	defer qc.release()
+
+	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space)})
+	for len(pending) > 0 {
+		v := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		qc.arena.copyOut(v.slot, qc.walk)
+		qc.arena.release(v.slot)
+		n, err := t.store.get(v.child)
+		if err != nil {
+			qc.pending = pending[:0]
+			return dst, err
+		}
+		if n.leaf {
+			for i, p := range n.pts {
+				if q.Contains(p) {
+					dst = append(dst, Entry{Point: p, RID: n.rids[i]})
+				}
 			}
+			continue
 		}
-		return nil
+		if n.kdRoot == kdNone {
+			continue
+		}
+		mark := len(pending)
+		pending = t.kdWalkBox(qc, n, q, pending)
+		reverseVisits(pending[mark:])
 	}
-	if n.kdRoot == kdNone {
-		return nil
-	}
-	type visit struct {
-		child pagefile.PageID
-		br    geom.Rect
-	}
-	var visits []visit
-	brWalk := br.Clone()
-	var walk func(idx int32)
-	walk = func(idx int32) {
-		k := &n.kd[idx]
-		if k.isLeaf() {
-			// Step two of the paper's two-step overlap check: the kd-defined
-			// BR already intersects q; now consult the encoded live space.
-			live, ok := t.els.Get(uint32(k.Child), t.cfg.Space)
-			if ok && !live.Intersects(q) {
-				return
+	qc.pending = pending[:0]
+	return dst, nil
+}
+
+// kdWalkBox runs the box query's intra-node kd walk over index node n,
+// narrowing one boundary of qc.walk per internal record (and re-testing only
+// that boundary — the "a boundary is checked only once" property of Section
+// 3.1) and appending one visit per surviving kd-leaf, in kd order. Leaves
+// pass the second step of the paper's two-step overlap check (the encoded
+// live space) before being kept.
+func (t *Tree) kdWalkBox(qc *queryCtx, n *node, q geom.Rect, pending []visitRef) []visitRef {
+	br := qc.walk
+	kd, els, space := n.kd, t.els, t.cfg.Space
+	st := append(qc.frames, kdFrame{idx: n.kdRoot})
+	for len(st) > 0 {
+		f := &st[len(st)-1]
+		k := &kd[f.idx]
+		switch f.stage {
+		case 0:
+			if k.isLeaf() {
+				st = st[:len(st)-1]
+				live, ok := els.Get(uint32(k.Child), space)
+				if ok && !live.Intersects(q) {
+					continue
+				}
+				pending = append(pending, visitRef{child: k.Child, slot: qc.arena.put(br)})
+				continue
 			}
-			visits = append(visits, visit{child: k.Child, br: brWalk.Clone()})
-			return
-		}
-		d := int(k.Dim)
-		oldHi := brWalk.Hi[d]
-		if k.Lsp < oldHi {
-			brWalk.Hi[d] = k.Lsp
-		}
-		if q.Lo[d] <= brWalk.Hi[d] && brWalk.Hi[d] >= brWalk.Lo[d] {
-			walk(k.Left)
-		}
-		brWalk.Hi[d] = oldHi
-		oldLo := brWalk.Lo[d]
-		if k.Rsp > oldLo {
-			brWalk.Lo[d] = k.Rsp
-		}
-		if q.Hi[d] >= brWalk.Lo[d] && brWalk.Hi[d] >= brWalk.Lo[d] {
-			walk(k.Right)
-		}
-		brWalk.Lo[d] = oldLo
-	}
-	walk(n.kdRoot)
-	for _, v := range visits {
-		if err := t.boxAt(v.child, v.br, q, out); err != nil {
-			return err
+			d := int(k.Dim)
+			f.saved = br.Hi[d]
+			f.stage = 1
+			if k.Lsp < br.Hi[d] {
+				br.Hi[d] = k.Lsp
+			}
+			if q.Lo[d] <= br.Hi[d] && br.Hi[d] >= br.Lo[d] {
+				st = append(st, kdFrame{idx: k.Left})
+			}
+		case 1:
+			d := int(k.Dim)
+			br.Hi[d] = f.saved
+			f.saved = br.Lo[d]
+			f.stage = 2
+			if k.Rsp > br.Lo[d] {
+				br.Lo[d] = k.Rsp
+			}
+			if q.Hi[d] >= br.Lo[d] && br.Hi[d] >= br.Lo[d] {
+				st = append(st, kdFrame{idx: k.Right})
+			}
+		default:
+			br.Lo[int(k.Dim)] = f.saved
+			st = st[:len(st)-1]
 		}
 	}
-	return nil
+	qc.frames = st[:0]
+	return pending
 }
 
 // SearchPoint returns the record ids stored exactly at p.
@@ -117,85 +152,134 @@ func (t *Tree) SearchPoint(p geom.Point) ([]RecordID, error) {
 // m — the distance-based range query of Section 3.5. The metric is supplied
 // per query: nothing about the tree is specialized to it.
 func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]Neighbor, error) {
-	if len(q) != t.cfg.Dim {
-		return nil, fmt.Errorf("core: query has dim %d, tree expects %d", len(q), t.cfg.Dim)
-	}
-	if radius < 0 {
-		return nil, fmt.Errorf("core: negative radius %g", radius)
-	}
-	var out []Neighbor
-	err := t.rangeAt(t.root, t.cfg.Space, q, radius, m, &out)
-	return out, err
+	c := t.getCtx()
+	defer t.putCtx(c)
+	return t.SearchRangeCtx(c, q, radius, m, nil)
 }
 
-func (t *Tree) rangeAt(id pagefile.PageID, br geom.Rect, q geom.Point, radius float64, m dist.Metric, out *[]Neighbor) error {
-	n, err := t.store.get(id)
-	if err != nil {
-		return err
+// SearchRangeCtx is SearchRange with caller-managed scratch state and result
+// buffer (see SearchBoxCtx). When m supports the squared-distance fast path
+// (dist.AsSquared), membership and pruning compare squared distances and
+// each reported neighbor costs a single square root; leaf scans abandon a
+// candidate as soon as its partial sum exceeds the squared radius.
+func (t *Tree) SearchRangeCtx(c *QueryContext, q geom.Point, radius float64, m dist.Metric, dst []Neighbor) ([]Neighbor, error) {
+	if len(q) != t.cfg.Dim {
+		return dst, fmt.Errorf("core: query has dim %d, tree expects %d", len(q), t.cfg.Dim)
 	}
-	if n.leaf {
-		for i, p := range n.pts {
-			if d := m.Distance(q, p); d <= radius {
-				*out = append(*out, Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d})
-			}
+	if radius < 0 {
+		return dst, fmt.Errorf("core: negative radius %g", radius)
+	}
+	qc := &c.qc
+	qc.acquire(t.cfg.Dim)
+	defer qc.release()
+
+	sqm, useSq := dist.AsSquared(m)
+	bound := radius
+	if useSq {
+		bound = radius * radius
+	}
+
+	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space)})
+	for len(pending) > 0 {
+		v := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		qc.arena.copyOut(v.slot, qc.walk)
+		qc.arena.release(v.slot)
+		n, err := t.store.get(v.child)
+		if err != nil {
+			qc.pending = pending[:0]
+			return dst, err
 		}
-		return nil
-	}
-	type visit struct {
-		child pagefile.PageID
-		br    geom.Rect
-	}
-	var visits []visit
-	brWalk := br.Clone()
-	scratch := geom.Rect{Lo: make(geom.Point, t.cfg.Dim), Hi: make(geom.Point, t.cfg.Dim)}
-	var walk func(idx int32)
-	walk = func(idx int32) {
-		k := &n.kd[idx]
-		if k.isLeaf() {
-			// The child's true region is brWalk ∩ live; bounding against
-			// the intersection (built in a reused scratch rect) is strictly
-			// tighter than the max of the two separate MINDISTs.
-			lb := 0.0
-			if live, ok := t.els.Get(uint32(k.Child), t.cfg.Space); ok {
-				if !intersectInto(&scratch, brWalk, live) {
-					return
+		if n.leaf {
+			if useSq {
+				for i, p := range n.pts {
+					if d2 := sqm.DistanceSqBounded(q, p, bound); d2 <= bound {
+						dst = append(dst, Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: math.Sqrt(d2)})
+					}
 				}
-				lb = m.MinDistRect(q, scratch)
 			} else {
-				lb = m.MinDistRect(q, brWalk)
+				for i, p := range n.pts {
+					if d := m.Distance(q, p); d <= radius {
+						dst = append(dst, Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d})
+					}
+				}
 			}
-			if lb <= radius {
-				visits = append(visits, visit{child: k.Child, br: brWalk.Clone()})
+			continue
+		}
+		if n.kdRoot == kdNone {
+			continue
+		}
+		mark := len(pending)
+		pending = t.kdWalkDist(qc, n, q, m, sqm, useSq, bound, pending)
+		reverseVisits(pending[mark:])
+	}
+	qc.pending = pending[:0]
+	return dst, nil
+}
+
+// kdWalkDist is the distance-range query's intra-node kd walk: surviving
+// kd-leaves are those whose region (mapped BR ∩ encoded live space, a
+// strictly tighter bound than the max of the two separate MINDISTs) lies
+// within bound of q. bound and the MINDIST computation are in squared space
+// when useSq is set.
+func (t *Tree) kdWalkDist(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sqm dist.SquaredMetric, useSq bool, bound float64, pending []visitRef) []visitRef {
+	br := qc.walk
+	kd, els, space := n.kd, t.els, t.cfg.Space
+	st := append(qc.frames, kdFrame{idx: n.kdRoot})
+	for len(st) > 0 {
+		f := &st[len(st)-1]
+		k := &kd[f.idx]
+		switch f.stage {
+		case 0:
+			if k.isLeaf() {
+				st = st[:len(st)-1]
+				lb := 0.0
+				if live, ok := els.Get(uint32(k.Child), space); ok {
+					if !intersectInto(&qc.scratch, br, live) {
+						continue
+					}
+					if useSq {
+						lb = sqm.MinDistRectSq(q, qc.scratch)
+					} else {
+						lb = m.MinDistRect(q, qc.scratch)
+					}
+				} else if useSq {
+					lb = sqm.MinDistRectSq(q, br)
+				} else {
+					lb = m.MinDistRect(q, br)
+				}
+				if lb <= bound {
+					pending = append(pending, visitRef{child: k.Child, slot: qc.arena.put(br)})
+				}
+				continue
 			}
-			return
-		}
-		d := int(k.Dim)
-		oldHi := brWalk.Hi[d]
-		if k.Lsp < oldHi {
-			brWalk.Hi[d] = k.Lsp
-		}
-		if brWalk.Hi[d] >= brWalk.Lo[d] {
-			walk(k.Left)
-		}
-		brWalk.Hi[d] = oldHi
-		oldLo := brWalk.Lo[d]
-		if k.Rsp > oldLo {
-			brWalk.Lo[d] = k.Rsp
-		}
-		if brWalk.Hi[d] >= brWalk.Lo[d] {
-			walk(k.Right)
-		}
-		brWalk.Lo[d] = oldLo
-	}
-	if n.kdRoot != kdNone {
-		walk(n.kdRoot)
-	}
-	for _, v := range visits {
-		if err := t.rangeAt(v.child, v.br, q, radius, m, out); err != nil {
-			return err
+			d := int(k.Dim)
+			f.saved = br.Hi[d]
+			f.stage = 1
+			if k.Lsp < br.Hi[d] {
+				br.Hi[d] = k.Lsp
+			}
+			if br.Hi[d] >= br.Lo[d] {
+				st = append(st, kdFrame{idx: k.Left})
+			}
+		case 1:
+			d := int(k.Dim)
+			br.Hi[d] = f.saved
+			f.saved = br.Lo[d]
+			f.stage = 2
+			if k.Rsp > br.Lo[d] {
+				br.Lo[d] = k.Rsp
+			}
+			if br.Hi[d] >= br.Lo[d] {
+				st = append(st, kdFrame{idx: k.Right})
+			}
+		default:
+			br.Lo[int(k.Dim)] = f.saved
+			st = st[:len(st)-1]
 		}
 	}
-	return nil
+	qc.frames = st[:0]
+	return pending
 }
 
 // SearchKNN returns the k entries nearest to q under metric m, closest
@@ -203,81 +287,160 @@ func (t *Tree) rangeAt(id pagefile.PageID, br geom.Rect, q geom.Point, radius fl
 // in order of the MINDIST between q and their (live-space-tightened) BRs,
 // stopping when the next node cannot beat the current k-th distance.
 func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]Neighbor, error) {
+	c := t.getCtx()
+	defer t.putCtx(c)
+	return t.SearchKNNCtx(c, q, k, m, nil)
+}
+
+// SearchKNNCtx is SearchKNN with caller-managed scratch state and result
+// buffer (see SearchBoxCtx): the k results are appended to dst.
+func (t *Tree) SearchKNNCtx(c *QueryContext, q geom.Point, k int, m dist.Metric, dst []Neighbor) ([]Neighbor, error) {
+	return t.searchKNN(c, q, k, m, 0, dst)
+}
+
+// searchKNN is the shared exact/(1+epsilon)-approximate best-first search;
+// epsilon = 0 is exact. When m supports the squared-distance fast path,
+// frontier priorities, pruning bounds and leaf scans all work on squared
+// distances (with partial-distance early abandonment against the current
+// k-th best) and only the k reported results pay a square root.
+func (t *Tree) searchKNN(c *QueryContext, q geom.Point, k int, m dist.Metric, epsilon float64, dst []Neighbor) ([]Neighbor, error) {
 	if len(q) != t.cfg.Dim {
-		return nil, fmt.Errorf("core: query has dim %d, tree expects %d", len(q), t.cfg.Dim)
+		return dst, fmt.Errorf("core: query has dim %d, tree expects %d", len(q), t.cfg.Dim)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+		return dst, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
-	type frontier struct {
-		id pagefile.PageID
-		br geom.Rect
+	if epsilon < 0 {
+		return dst, fmt.Errorf("core: epsilon %g must be >= 0", epsilon)
 	}
-	var pq pqueue.Min[frontier]
-	best := pqueue.NewKBest[Neighbor](k)
+	qc := &c.qc
+	qc.acquire(t.cfg.Dim)
+	defer qc.release()
 
-	rootBR := t.cfg.Space
-	pq.Push(frontier{id: t.root, br: rootBR}, 0)
+	sqm, useSq := dist.AsSquared(m)
+	// shrink scales the pruning bound for approximate search; for squared
+	// distances the factor is squared too. epsilon = 0 gives shrink = 1,
+	// and x*1 == x for floats, so the exact path is untouched.
+	shrink := 1 / (1 + epsilon)
+	if useSq {
+		shrink *= shrink
+	}
+
+	pq := &qc.pq
+	best := qc.kbest(k)
+	pq.Push(visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space)}, 0)
 	for pq.Len() > 0 {
-		f, mindist := pq.Pop()
-		if best.Full() && mindist > best.Bound() {
+		v, mindist := pq.Pop()
+		if best.Full() && mindist > best.Bound()*shrink {
 			break
 		}
-		n, err := t.store.get(f.id)
+		qc.arena.copyOut(v.slot, qc.walk)
+		qc.arena.release(v.slot)
+		n, err := t.store.get(v.child)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		if n.leaf {
-			for i, p := range n.pts {
-				d := m.Distance(q, p)
-				best.Offer(Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d}, d)
+			if useSq {
+				bound := math.Inf(1)
+				if best.Full() {
+					bound = best.Bound()
+				}
+				for i, p := range n.pts {
+					d2 := sqm.DistanceSqBounded(q, p, bound)
+					if d2 > bound {
+						continue // abandoned or beaten; Offer would reject it
+					}
+					best.Offer(Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d2}, d2)
+					if best.Full() {
+						bound = best.Bound()
+					}
+				}
+			} else {
+				for i, p := range n.pts {
+					d := m.Distance(q, p)
+					best.Offer(Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d}, d)
+				}
 			}
 			continue
 		}
-		brWalk := f.br.Clone()
-		scratch := geom.Rect{Lo: make(geom.Point, t.cfg.Dim), Hi: make(geom.Point, t.cfg.Dim)}
-		var walk func(idx int32)
-		walk = func(idx int32) {
-			k2 := &n.kd[idx]
-			if k2.isLeaf() {
-				var md float64
-				if live, ok := t.els.Get(uint32(k2.Child), t.cfg.Space); ok {
-					if !intersectInto(&scratch, brWalk, live) {
-						return
-					}
-					md = m.MinDistRect(q, scratch)
-				} else {
-					md = m.MinDistRect(q, brWalk)
-				}
-				if !best.Full() || md <= best.Bound() {
-					pq.Push(frontier{id: k2.Child, br: brWalk.Clone()}, md)
-				}
-				return
-			}
-			d := int(k2.Dim)
-			oldHi := brWalk.Hi[d]
-			if k2.Lsp < oldHi {
-				brWalk.Hi[d] = k2.Lsp
-			}
-			if brWalk.Hi[d] >= brWalk.Lo[d] {
-				walk(k2.Left)
-			}
-			brWalk.Hi[d] = oldHi
-			oldLo := brWalk.Lo[d]
-			if k2.Rsp > oldLo {
-				brWalk.Lo[d] = k2.Rsp
-			}
-			if brWalk.Hi[d] >= brWalk.Lo[d] {
-				walk(k2.Right)
-			}
-			brWalk.Lo[d] = oldLo
-		}
 		if n.kdRoot != kdNone {
-			walk(n.kdRoot)
+			t.kdWalkKNN(qc, n, q, m, sqm, useSq, best, shrink)
 		}
 	}
-	neighbors, _ := best.Sorted()
-	return neighbors, nil
+	if dst == nil {
+		dst = make([]Neighbor, 0, best.Len())
+	}
+	base := len(dst)
+	dst = best.AppendSorted(dst)
+	if useSq {
+		for i := base; i < len(dst); i++ {
+			dst[i].Dist = math.Sqrt(dst[i].Dist)
+		}
+	}
+	return dst, nil
+}
+
+// kdWalkKNN is the k-NN intra-node kd walk: each surviving kd-leaf joins
+// the best-first frontier with its (live-space-tightened) MINDIST as
+// priority, unless the current k-th best already rules it out.
+func (t *Tree) kdWalkKNN(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sqm dist.SquaredMetric, useSq bool, best *pqueue.KBest[Neighbor], shrink float64) {
+	br := qc.walk
+	kd, els, space := n.kd, t.els, t.cfg.Space
+	st := append(qc.frames, kdFrame{idx: n.kdRoot})
+	for len(st) > 0 {
+		f := &st[len(st)-1]
+		k := &kd[f.idx]
+		switch f.stage {
+		case 0:
+			if k.isLeaf() {
+				st = st[:len(st)-1]
+				var md float64
+				if live, ok := els.Get(uint32(k.Child), space); ok {
+					if !intersectInto(&qc.scratch, br, live) {
+						continue
+					}
+					if useSq {
+						md = sqm.MinDistRectSq(q, qc.scratch)
+					} else {
+						md = m.MinDistRect(q, qc.scratch)
+					}
+				} else if useSq {
+					md = sqm.MinDistRectSq(q, br)
+				} else {
+					md = m.MinDistRect(q, br)
+				}
+				if !best.Full() || md <= best.Bound()*shrink {
+					qc.pq.Push(visitRef{child: k.Child, slot: qc.arena.put(br)}, md)
+				}
+				continue
+			}
+			d := int(k.Dim)
+			f.saved = br.Hi[d]
+			f.stage = 1
+			if k.Lsp < br.Hi[d] {
+				br.Hi[d] = k.Lsp
+			}
+			if br.Hi[d] >= br.Lo[d] {
+				st = append(st, kdFrame{idx: k.Left})
+			}
+		case 1:
+			d := int(k.Dim)
+			br.Hi[d] = f.saved
+			f.saved = br.Lo[d]
+			f.stage = 2
+			if k.Rsp > br.Lo[d] {
+				br.Lo[d] = k.Rsp
+			}
+			if br.Hi[d] >= br.Lo[d] {
+				st = append(st, kdFrame{idx: k.Right})
+			}
+		default:
+			br.Lo[int(k.Dim)] = f.saved
+			st = st[:len(st)-1]
+		}
+	}
+	qc.frames = st[:0]
 }
 
 // intersectInto writes the intersection of a and b into dst (which must

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"hybridtree/internal/els"
 	"hybridtree/internal/geom"
@@ -24,6 +25,10 @@ type Tree struct {
 	// elsHead is the page chain holding the persisted ELS snapshot
 	// (InvalidPage when none has been written).
 	elsHead pagefile.PageID
+	// qcPool recycles QueryContexts for the plain (context-less) search
+	// methods; see queryctx.go. Safe for the concurrent read path: pooled
+	// contexts are exclusive to one search at a time by construction.
+	qcPool sync.Pool
 }
 
 // New creates an empty hybrid tree on file. Page 0 of the file is used for

@@ -5,87 +5,53 @@ import (
 
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
-	"hybridtree/internal/pagefile"
 )
-
-// errStopVisit is the internal sentinel used to unwind an early-terminated
-// visitor walk; it is never returned to callers.
-var errStopVisit = fmt.Errorf("core: visitor stop")
 
 // SearchBoxFunc streams every entry inside q to fn without materializing a
 // result slice; fn returning false stops the search early (useful for
 // EXISTS-style predicates and LIMIT queries). The Entry's Point is shared
-// with the node cache and must be cloned if retained.
+// with the node cache and must be cloned if retained. Entries arrive in the
+// same depth-first order SearchBox returns them.
 func (t *Tree) SearchBoxFunc(q geom.Rect, fn func(Entry) bool) error {
 	if q.Dim() != t.cfg.Dim {
 		return fmt.Errorf("core: query has dim %d, tree expects %d", q.Dim(), t.cfg.Dim)
 	}
-	err := t.visitBox(t.root, t.cfg.Space, q, fn)
-	if err == errStopVisit {
-		return nil
-	}
-	return err
-}
+	c := t.getCtx()
+	defer t.putCtx(c)
+	qc := &c.qc
+	qc.acquire(t.cfg.Dim)
+	defer qc.release()
 
-func (t *Tree) visitBox(id pagefile.PageID, br geom.Rect, q geom.Rect, fn func(Entry) bool) error {
-	n, err := t.store.get(id)
-	if err != nil {
-		return err
-	}
-	if n.leaf {
-		for i, p := range n.pts {
-			if q.Contains(p) {
-				if !fn(Entry{Point: p, RID: n.rids[i]}) {
-					return errStopVisit
-				}
-			}
-		}
-		return nil
-	}
-	if n.kdRoot == kdNone {
-		return nil
-	}
-	type visit struct {
-		child pagefile.PageID
-		br    geom.Rect
-	}
-	var visits []visit
-	brWalk := br.Clone()
-	var walk func(idx int32)
-	walk = func(idx int32) {
-		k := &n.kd[idx]
-		if k.isLeaf() {
-			live, ok := t.els.Get(uint32(k.Child), t.cfg.Space)
-			if ok && !live.Intersects(q) {
-				return
-			}
-			visits = append(visits, visit{child: k.Child, br: brWalk.Clone()})
-			return
-		}
-		d := int(k.Dim)
-		oldHi := brWalk.Hi[d]
-		if k.Lsp < oldHi {
-			brWalk.Hi[d] = k.Lsp
-		}
-		if q.Lo[d] <= brWalk.Hi[d] && brWalk.Hi[d] >= brWalk.Lo[d] {
-			walk(k.Left)
-		}
-		brWalk.Hi[d] = oldHi
-		oldLo := brWalk.Lo[d]
-		if k.Rsp > oldLo {
-			brWalk.Lo[d] = k.Rsp
-		}
-		if q.Hi[d] >= brWalk.Lo[d] && brWalk.Hi[d] >= brWalk.Lo[d] {
-			walk(k.Right)
-		}
-		brWalk.Lo[d] = oldLo
-	}
-	walk(n.kdRoot)
-	for _, v := range visits {
-		if err := t.visitBox(v.child, v.br, q, fn); err != nil {
+	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space)})
+	for len(pending) > 0 {
+		v := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		qc.arena.copyOut(v.slot, qc.walk)
+		qc.arena.release(v.slot)
+		n, err := t.store.get(v.child)
+		if err != nil {
+			qc.pending = pending[:0]
 			return err
 		}
+		if n.leaf {
+			for i, p := range n.pts {
+				if q.Contains(p) {
+					if !fn(Entry{Point: p, RID: n.rids[i]}) {
+						qc.pending = pending[:0]
+						return nil
+					}
+				}
+			}
+			continue
+		}
+		if n.kdRoot == kdNone {
+			continue
+		}
+		mark := len(pending)
+		pending = t.kdWalkBox(qc, n, q, pending)
+		reverseVisits(pending[mark:])
 	}
+	qc.pending = pending[:0]
 	return nil
 }
 

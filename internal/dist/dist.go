@@ -55,6 +55,13 @@ func (m LpMetric) Distance(a, b geom.Point) float64 {
 		}
 		return s
 	}
+	if m.P == 2 {
+		// Same kernel as L2(): math.Pow(x, 2) == x*x and math.Pow(s, 0.5)
+		// == math.Sqrt(s) bit-for-bit, so this is purely a fast path —
+		// LpMetric{P: 2} and L2() return identical floats either way
+		// (pinned by TestLp2MatchesL2).
+		return euclidean{}.Distance(a, b)
+	}
 	s := 0.0
 	for d := range a {
 		s += math.Pow(math.Abs(float64(a[d])-float64(b[d])), m.P)
@@ -71,6 +78,9 @@ func (m LpMetric) MinDistRect(q geom.Point, r geom.Rect) float64 {
 			s += axisGap(q[d], r.Lo[d], r.Hi[d])
 		}
 		return s
+	}
+	if m.P == 2 {
+		return euclidean{}.MinDistRect(q, r)
 	}
 	s := 0.0
 	for d := range q {
@@ -152,6 +162,11 @@ func (m WeightedLp) Name() string { return fmt.Sprintf("wL%g", m.P) }
 
 // Distance implements Metric.
 func (m WeightedLp) Distance(a, b geom.Point) float64 {
+	if m.P == 2 {
+		// Pow-free fast path, bit-identical to the general formula (see
+		// the LpMetric{P: 2} note).
+		return math.Sqrt(m.DistanceSq(a, b))
+	}
 	s := 0.0
 	for d := range a {
 		s += m.Weights[d] * math.Pow(math.Abs(float64(a[d])-float64(b[d])), m.P)
@@ -161,6 +176,9 @@ func (m WeightedLp) Distance(a, b geom.Point) float64 {
 
 // MinDistRect implements Metric.
 func (m WeightedLp) MinDistRect(q geom.Point, r geom.Rect) float64 {
+	if m.P == 2 {
+		return math.Sqrt(m.MinDistRectSq(q, r))
+	}
 	s := 0.0
 	for d := range q {
 		s += m.Weights[d] * math.Pow(axisGap(q[d], r.Lo[d], r.Hi[d]), m.P)

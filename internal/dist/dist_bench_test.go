@@ -27,6 +27,7 @@ func benchVecs(dim int) (geom.Point, geom.Point, geom.Rect) {
 func BenchmarkL1Distance64d(b *testing.B) {
 	a, q, _ := benchVecs(64)
 	m := L1()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Distance(a, q)
@@ -36,6 +37,7 @@ func BenchmarkL1Distance64d(b *testing.B) {
 func BenchmarkL2Distance64d(b *testing.B) {
 	a, q, _ := benchVecs(64)
 	m := L2()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Distance(a, q)
@@ -45,6 +47,7 @@ func BenchmarkL2Distance64d(b *testing.B) {
 func BenchmarkL1MinDistRect64d(b *testing.B) {
 	_, q, r := benchVecs(64)
 	m := L1()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.MinDistRect(q, r)
@@ -61,8 +64,36 @@ func BenchmarkWeightedLp64d(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Distance(a, q)
+	}
+}
+
+// BenchmarkLp2Distance64d pins the LpMetric{P: 2} fast path: it must track
+// BenchmarkL2Distance64d, not the ~40x slower math.Pow general-P loop it
+// replaced.
+func BenchmarkLp2Distance64d(b *testing.B) {
+	a, q, _ := benchVecs(64)
+	m := LpMetric{P: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Distance(a, q)
+	}
+}
+
+func BenchmarkL2DistanceSqBounded64d(b *testing.B) {
+	a, q, _ := benchVecs(64)
+	sqm, ok := AsSquared(L2())
+	if !ok {
+		b.Fatal("L2 must be squared-capable")
+	}
+	bound := sqm.DistanceSq(a, q) / 4 // force mid-vector abandonment
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sqm.DistanceSqBounded(a, q, bound)
 	}
 }

@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybridtree/internal/geom"
+)
+
+func randPointRect(rng *rand.Rand, dim int) (geom.Point, geom.Point, geom.Rect) {
+	a := make(geom.Point, dim)
+	b := make(geom.Point, dim)
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	for d := 0; d < dim; d++ {
+		a[d] = rng.Float32()*20 - 10
+		b[d] = rng.Float32()*20 - 10
+		x := rng.Float32()*20 - 10
+		y := rng.Float32()*20 - 10
+		if x > y {
+			x, y = y, x
+		}
+		lo[d], hi[d] = x, y
+	}
+	return a, b, geom.Rect{Lo: lo, Hi: hi}
+}
+
+// TestLp2MatchesL2 pins the LpMetric{P: 2} fast path bit-for-bit against
+// L2: the specialization must be a pure speed change, invisible to every
+// comparison a search makes.
+func TestLp2MatchesL2(t *testing.T) {
+	lp := LpMetric{P: 2}
+	l2 := L2()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		dim := 1 + rng.Intn(80)
+		a, b, r := randPointRect(rng, dim)
+		if got, want := lp.Distance(a, b), l2.Distance(a, b); got != want {
+			t.Fatalf("trial %d (dim %d): Lp2 Distance = %v, L2 = %v", trial, dim, got, want)
+		}
+		if got, want := lp.MinDistRect(a, r), l2.MinDistRect(a, r); got != want {
+			t.Fatalf("trial %d (dim %d): Lp2 MinDistRect = %v, L2 = %v", trial, dim, got, want)
+		}
+	}
+}
+
+// TestSquaredMetricContract checks every SquaredOK implementation against
+// the interface's documented invariants: sqrt of the squared forms equals
+// the plain forms bit-for-bit, and the bounded form is exact whenever its
+// result is within the bound.
+func TestSquaredMetricContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const dim = 24
+	weights := make([]float64, dim)
+	for i := range weights {
+		weights[i] = rng.Float64() * 3
+	}
+	wlp, err := NewWeightedLp(2, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := []Metric{L2(), LpMetric{P: 2}, wlp}
+	for _, m := range metrics {
+		sqm, ok := AsSquared(m)
+		if !ok {
+			t.Fatalf("%s: expected squared support", m.Name())
+		}
+		for trial := 0; trial < 300; trial++ {
+			a, b, r := randPointRect(rng, dim)
+			d := m.Distance(a, b)
+			d2 := sqm.DistanceSq(a, b)
+			if math.Sqrt(d2) != d {
+				t.Fatalf("%s trial %d: Sqrt(DistanceSq) = %v, Distance = %v", m.Name(), trial, math.Sqrt(d2), d)
+			}
+			md := m.MinDistRect(a, r)
+			md2 := sqm.MinDistRectSq(a, r)
+			if math.Sqrt(md2) != md {
+				t.Fatalf("%s trial %d: Sqrt(MinDistRectSq) = %v, MinDistRect = %v", m.Name(), trial, math.Sqrt(md2), md)
+			}
+			// Bound above the true value: result must be exact.
+			if got := sqm.DistanceSqBounded(a, b, d2); got != d2 {
+				t.Fatalf("%s trial %d: DistanceSqBounded(bound=d2) = %v, want %v", m.Name(), trial, got, d2)
+			}
+			if got := sqm.DistanceSqBounded(a, b, math.Inf(1)); got != d2 {
+				t.Fatalf("%s trial %d: DistanceSqBounded(+Inf) = %v, want %v", m.Name(), trial, got, d2)
+			}
+			// Bound below: the partial sum may stop early but must exceed it.
+			if d2 > 0 {
+				if got := sqm.DistanceSqBounded(a, b, d2/2); got <= d2/2 {
+					t.Fatalf("%s trial %d: abandoned scan returned %v <= bound %v", m.Name(), trial, got, d2/2)
+				}
+			}
+		}
+	}
+}
+
+// TestAsSquaredRejectsNonEuclidean makes sure the fast path never
+// activates for metrics where squared comparison is invalid.
+func TestAsSquaredRejectsNonEuclidean(t *testing.T) {
+	w3 := make([]float64, 4)
+	for i := range w3 {
+		w3[i] = 1
+	}
+	wlp3, err := NewWeightedLp(3, w3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Metric{L1(), Linf(), LpMetric{P: 3}, LpMetric{P: 1}, wlp3} {
+		if _, ok := AsSquared(m); ok {
+			t.Fatalf("%s: squared fast path must not activate", m.Name())
+		}
+	}
+}

@@ -20,6 +20,7 @@ func benchSegs(n int) []Segment {
 
 func BenchmarkBipartition200(b *testing.B) {
 	segs := benchSegs(200)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Bipartition(segs, 66)
@@ -41,6 +42,7 @@ func BenchmarkRectIntersects64d(b *testing.B) {
 		return Rect{Lo: lo, Hi: hi}
 	}
 	r1, r2 := mk(), mk()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r1.Intersects(r2)
@@ -56,6 +58,7 @@ func BenchmarkMinkowskiVolume64d(b *testing.B) {
 		hi[d] = lo[d] + 0.2
 	}
 	r := Rect{Lo: lo, Hi: hi}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.MinkowskiVolume(0.1)

@@ -14,6 +14,18 @@ type Min[T any] struct {
 // Len returns the number of queued items.
 func (q *Min[T]) Len() int { return len(q.vals) }
 
+// Reset empties the queue in place, keeping the backing storage for reuse.
+// Remaining values are zeroed so a pooled queue never keeps the previous
+// query's values reachable.
+func (q *Min[T]) Reset() {
+	var zero T
+	for i := range q.vals {
+		q.vals[i] = zero
+	}
+	q.vals = q.vals[:0]
+	q.pris = q.pris[:0]
+}
+
 // Push adds value with the given priority.
 func (q *Min[T]) Push(value T, priority float64) {
 	q.vals = append(q.vals, value)
@@ -92,6 +104,21 @@ func NewKBest[T any](k int) *KBest[T] {
 // Len returns how many items are currently held (at most k).
 func (q *KBest[T]) Len() int { return len(q.vals) }
 
+// K returns the collector's capacity k.
+func (q *KBest[T]) K() int { return q.k }
+
+// Reset empties the collector in place (k is unchanged), keeping the backing
+// storage for reuse. Held values are zeroed so a pooled collector never keeps
+// the previous query's values reachable.
+func (q *KBest[T]) Reset() {
+	var zero T
+	for i := range q.vals {
+		q.vals[i] = zero
+	}
+	q.vals = q.vals[:0]
+	q.pris = q.pris[:0]
+}
+
 // Full reports whether k items are held.
 func (q *KBest[T]) Full() bool { return len(q.vals) == q.k }
 
@@ -125,6 +152,20 @@ func (q *KBest[T]) Sorted() ([]T, []float64) {
 		vals[i], pris[i] = q.pop()
 	}
 	return vals, pris
+}
+
+// AppendSorted drains the collector, appending its items to dst in ascending
+// priority order, and returns the extended slice. Unlike Sorted it allocates
+// nothing beyond what growing dst requires, so a caller that recycles its
+// result buffer completes the drain allocation-free.
+func (q *KBest[T]) AppendSorted(dst []T) []T {
+	n := len(q.vals)
+	base := len(dst)
+	dst = append(dst, q.vals...) // grow by n; overwritten in order below
+	for i := n - 1; i >= 0; i-- {
+		dst[base+i], _ = q.pop()
+	}
+	return dst
 }
 
 func (q *KBest[T]) push(value T, priority float64) {

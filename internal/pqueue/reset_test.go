@@ -1,0 +1,130 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMinReset exercises the pooled-reuse contract: after Reset the queue
+// behaves like a fresh one (across several cycles, including reset while
+// non-empty) and the retained backing array holds no stale values.
+func TestMinReset(t *testing.T) {
+	var q Min[*int]
+	rng := rand.New(rand.NewSource(1))
+	for cycle := 0; cycle < 5; cycle++ {
+		n := 20 + cycle*13
+		want := make([]float64, n)
+		for i := range want {
+			v := i
+			want[i] = rng.Float64()
+			q.Push(&v, want[i])
+		}
+		sort.Float64s(want)
+		// Odd cycles abandon the queue half-drained, like an early-terminated
+		// search; even cycles drain fully.
+		drain := n
+		if cycle%2 == 1 {
+			drain = n / 2
+		}
+		for i := 0; i < drain; i++ {
+			v, pri := q.Pop()
+			if v == nil {
+				t.Fatalf("cycle %d: nil value at pop %d", cycle, i)
+			}
+			if pri != want[i] {
+				t.Fatalf("cycle %d: pop %d priority = %g, want %g", cycle, i, pri, want[i])
+			}
+		}
+		q.Reset()
+		if q.Len() != 0 {
+			t.Fatalf("cycle %d: Len() = %d after Reset", cycle, q.Len())
+		}
+		for i, v := range q.vals[:cap(q.vals)] {
+			if v != nil {
+				t.Fatalf("cycle %d: backing slot %d still holds a value after Reset", cycle, i)
+			}
+		}
+	}
+}
+
+// TestKBestReset mirrors TestMinReset for the k-best collector.
+func TestKBestReset(t *testing.T) {
+	const k = 8
+	q := NewKBest[*int](k)
+	rng := rand.New(rand.NewSource(2))
+	for cycle := 0; cycle < 5; cycle++ {
+		n := 30 + cycle*11
+		pris := make([]float64, n)
+		for i := range pris {
+			v := i
+			pris[i] = rng.Float64()
+			q.Offer(&v, pris[i])
+		}
+		sort.Float64s(pris)
+		if cycle%2 == 0 {
+			// Drain and check before resetting.
+			vals, got := q.Sorted()
+			for i := range got {
+				if got[i] != pris[i] {
+					t.Fatalf("cycle %d: sorted[%d] = %g, want %g", cycle, i, got[i], pris[i])
+				}
+				if vals[i] == nil {
+					t.Fatalf("cycle %d: nil value at %d", cycle, i)
+				}
+			}
+		}
+		q.Reset()
+		if q.Len() != 0 || q.K() != k {
+			t.Fatalf("cycle %d: Len() = %d, K() = %d after Reset", cycle, q.Len(), q.K())
+		}
+		if q.Full() {
+			t.Fatalf("cycle %d: Full() after Reset", cycle)
+		}
+		for i, v := range q.vals[:cap(q.vals)] {
+			if v != nil {
+				t.Fatalf("cycle %d: backing slot %d still holds a value after Reset", cycle, i)
+			}
+		}
+	}
+}
+
+// TestKBestAppendSorted pins AppendSorted against Sorted: same order, same
+// values, appended after any existing dst prefix, with dst's capacity
+// reused when it suffices.
+func TestKBestAppendSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(12)
+		n := rng.Intn(40)
+		a := NewKBest[int](k)
+		b := NewKBest[int](k)
+		for i := 0; i < n; i++ {
+			pri := rng.Float64()
+			a.Offer(i, pri)
+			b.Offer(i, pri)
+		}
+		want, _ := a.Sorted()
+
+		dst := make([]int, 0, k+3)
+		dst = append(dst, -1) // pre-existing prefix must survive
+		got := b.AppendSorted(dst)
+		if &got[0] != &dst[0] {
+			t.Fatalf("trial %d: AppendSorted reallocated despite sufficient capacity", trial)
+		}
+		if got[0] != -1 {
+			t.Fatalf("trial %d: prefix clobbered: %d", trial, got[0])
+		}
+		if len(got)-1 != len(want) {
+			t.Fatalf("trial %d: appended %d items, want %d", trial, len(got)-1, len(want))
+		}
+		for i, w := range want {
+			if got[i+1] != w {
+				t.Fatalf("trial %d: item %d = %d, want %d", trial, i, got[i+1], w)
+			}
+		}
+		if b.Len() != 0 {
+			t.Fatalf("trial %d: collector not drained: %d left", trial, b.Len())
+		}
+	}
+}

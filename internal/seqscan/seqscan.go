@@ -127,12 +127,24 @@ func (s *Scan) SearchBox(q geom.Rect) ([]index.Entry, error) {
 	return out, err
 }
 
-// SearchRange implements index.Index.
+// SearchRange implements index.Index. Under a squared-capable metric (L2)
+// the scan compares squared distances against radius² with partial-distance
+// early abandonment, paying one sqrt per reported hit instead of one full
+// distance per stored point.
 func (s *Scan) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]index.Neighbor, error) {
 	if len(q) != s.dim {
 		return nil, fmt.Errorf("seqscan: query has dim %d, want %d", len(q), s.dim)
 	}
 	var out []index.Neighbor
+	if sqm, ok := dist.AsSquared(m); ok {
+		bound := radius * radius
+		err := s.scan(func(p geom.Point, rid uint64) {
+			if d2 := sqm.DistanceSqBounded(q, p, bound); d2 <= bound {
+				out = append(out, index.Neighbor{Entry: index.Entry{Point: p.Clone(), RID: rid}, Dist: math.Sqrt(d2)})
+			}
+		})
+		return out, err
+	}
 	err := s.scan(func(p geom.Point, rid uint64) {
 		if d := m.Distance(q, p); d <= radius {
 			out = append(out, index.Neighbor{Entry: index.Entry{Point: p.Clone(), RID: rid}, Dist: d})
@@ -141,7 +153,10 @@ func (s *Scan) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]index
 	return out, err
 }
 
-// SearchKNN implements index.Index.
+// SearchKNN implements index.Index. Points are cloned only once they beat
+// the current k-th bound (the seed cloned every stored point), and under a
+// squared-capable metric the whole scan runs on squared distances with
+// early abandonment against that bound.
 func (s *Scan) SearchKNN(q geom.Point, k int, m dist.Metric) ([]index.Neighbor, error) {
 	if len(q) != s.dim {
 		return nil, fmt.Errorf("seqscan: query has dim %d, want %d", len(q), s.dim)
@@ -150,13 +165,31 @@ func (s *Scan) SearchKNN(q geom.Point, k int, m dist.Metric) ([]index.Neighbor, 
 		return nil, fmt.Errorf("seqscan: k must be >= 1, got %d", k)
 	}
 	best := pqueue.NewKBest[index.Neighbor](k)
+	sqm, useSq := dist.AsSquared(m)
 	err := s.scan(func(p geom.Point, rid uint64) {
-		d := m.Distance(q, p)
+		bound := math.Inf(1)
+		if best.Full() {
+			bound = best.Bound()
+		}
+		var d float64
+		if useSq {
+			d = sqm.DistanceSqBounded(q, p, bound)
+		} else {
+			d = m.Distance(q, p)
+		}
+		if d > bound {
+			return // abandoned or beaten; Offer would reject it
+		}
 		best.Offer(index.Neighbor{Entry: index.Entry{Point: p.Clone(), RID: rid}, Dist: d}, d)
 	})
 	if err != nil {
 		return nil, err
 	}
 	ns, _ := best.Sorted()
+	if useSq {
+		for i := range ns {
+			ns[i].Dist = math.Sqrt(ns[i].Dist)
+		}
+	}
 	return ns, nil
 }

@@ -402,6 +402,23 @@ func regionMinDist(q geom.Point, e *entry, m dist.Metric, sphereOK bool) float64
 	return lb
 }
 
+// regionMinDistSq is regionMinDist in the squared domain for metrics on the
+// sqrt-free fast path. The rectangle bound is squared natively; the sphere
+// bound keeps its one centroid sqrt (the L2 point distance) and squares the
+// resulting clearance, which is monotone because both bounds are
+// non-negative.
+func regionMinDistSq(q geom.Point, e *entry, sqm dist.SquaredMetric, sphereOK bool) float64 {
+	lb := sqm.MinDistRectSq(q, e.rect)
+	if sphereOK {
+		if dc := dist.L2().Distance(q, e.centroid) - e.radius; dc > 0 {
+			if sb := dc * dc; sb > lb {
+				lb = sb
+			}
+		}
+	}
+	return lb
+}
+
 // SearchBox implements index.Index: a child is visited when the query box
 // intersects both its bounding rectangle and its bounding sphere.
 func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
@@ -450,6 +467,11 @@ func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]index
 		return nil, fmt.Errorf("srtree: negative radius %g", radius)
 	}
 	sphereOK := dist.DominatesL2(m)
+	sqm, useSq := dist.AsSquared(m)
+	bound := radius
+	if useSq {
+		bound = radius * radius
+	}
 	var out []index.Neighbor
 	var walk func(id pagefile.PageID) error
 	walk = func(id pagefile.PageID) error {
@@ -459,14 +481,24 @@ func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]index
 		}
 		if n.leaf {
 			for i, p := range n.pts {
-				if d := m.Distance(q, p); d <= radius {
+				if useSq {
+					if d2 := sqm.DistanceSqBounded(q, p, bound); d2 <= bound {
+						out = append(out, index.Neighbor{Entry: index.Entry{Point: p, RID: n.rids[i]}, Dist: math.Sqrt(d2)})
+					}
+				} else if d := m.Distance(q, p); d <= radius {
 					out = append(out, index.Neighbor{Entry: index.Entry{Point: p, RID: n.rids[i]}, Dist: d})
 				}
 			}
 			return nil
 		}
 		for i := range n.ents {
-			if regionMinDist(q, &n.ents[i], m, sphereOK) <= radius {
+			var lb float64
+			if useSq {
+				lb = regionMinDistSq(q, &n.ents[i], sqm, sphereOK)
+			} else {
+				lb = regionMinDist(q, &n.ents[i], m, sphereOK)
+			}
+			if lb <= bound {
 				if err := walk(n.ents[i].child); err != nil {
 					return err
 				}
@@ -488,6 +520,7 @@ func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]index.Neighbor, 
 		return nil, fmt.Errorf("srtree: k must be >= 1, got %d", k)
 	}
 	sphereOK := dist.DominatesL2(m)
+	sqm, useSq := dist.AsSquared(m)
 	var pq pqueue.Min[pagefile.PageID]
 	best := pqueue.NewKBest[index.Neighbor](k)
 	pq.Push(t.root, 0)
@@ -501,20 +534,45 @@ func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]index.Neighbor, 
 			return nil, err
 		}
 		if n.leaf {
+			bound := math.Inf(1)
+			if best.Full() {
+				bound = best.Bound()
+			}
 			for i, p := range n.pts {
-				d := m.Distance(q, p)
+				var d float64
+				if useSq {
+					d = sqm.DistanceSqBounded(q, p, bound)
+				} else {
+					d = m.Distance(q, p)
+				}
+				if d > bound {
+					continue // abandoned or beaten; Offer would reject it
+				}
 				best.Offer(index.Neighbor{Entry: index.Entry{Point: p, RID: n.rids[i]}, Dist: d}, d)
+				if best.Full() {
+					bound = best.Bound()
+				}
 			}
 			continue
 		}
 		for i := range n.ents {
-			md := regionMinDist(q, &n.ents[i], m, sphereOK)
+			var md float64
+			if useSq {
+				md = regionMinDistSq(q, &n.ents[i], sqm, sphereOK)
+			} else {
+				md = regionMinDist(q, &n.ents[i], m, sphereOK)
+			}
 			if !best.Full() || md <= best.Bound() {
 				pq.Push(n.ents[i].child, md)
 			}
 		}
 	}
 	ns, _ := best.Sorted()
+	if useSq {
+		for i := range ns {
+			ns[i].Dist = math.Sqrt(ns[i].Dist)
+		}
+	}
 	return ns, nil
 }
 
