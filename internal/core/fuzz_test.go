@@ -1,8 +1,12 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
+	"math"
 	"testing"
 
+	"hybridtree/internal/geom"
 	"hybridtree/internal/pagefile"
 )
 
@@ -67,6 +71,143 @@ func FuzzDecodeNode(f *testing.F) {
 		}
 		if _, err := decodeNode(pagefile.PageID(1), buf[:size], dim); err != nil {
 			t.Fatalf("re-decode of re-encoded node failed: %v", err)
+		}
+	})
+}
+
+// FuzzNodeRoundTrip builds structurally valid data nodes from fuzz input
+// and demands an exact encode → decode → encode fixed point: the second
+// encoding must be byte-identical to the first. Run with
+// `go test -fuzz FuzzNodeRoundTrip ./internal/core`.
+func FuzzNodeRoundTrip(f *testing.F) {
+	f.Add(4, []byte{0, 0, 128, 63, 0, 0, 0, 63, 1, 2, 3, 4})
+	f.Add(1, []byte{})
+	f.Add(16, bytes.Repeat([]byte{0x41}, 200))
+	f.Fuzz(func(t *testing.T, dim int, raw []byte) {
+		if dim < 1 || dim > 64 {
+			return
+		}
+		// Consume raw as a stream of float32 coordinates; each dim of them
+		// plus a derived rid makes one entry.
+		n := &node{id: 1, leaf: true, kdRoot: kdNone}
+		for off := 0; off+4*dim <= len(raw) && len(n.pts) < 200; off += 4 * dim {
+			p := make(geom.Point, dim)
+			for d := 0; d < dim; d++ {
+				bits := binary.LittleEndian.Uint32(raw[off+4*d:])
+				v := math.Float32frombits(bits)
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					v = 0
+				}
+				p[d] = v
+			}
+			n.pts = append(n.pts, p)
+			n.rids = append(n.rids, RecordID(off))
+		}
+		buf1 := make([]byte, 1<<20)
+		size1, err := n.encode(buf1, dim)
+		if err != nil {
+			t.Fatalf("encode of valid data node failed: %v", err)
+		}
+		decoded, err := decodeNode(pagefile.PageID(1), buf1[:size1], dim)
+		if err != nil {
+			t.Fatalf("decode of encoded node failed: %v", err)
+		}
+		if len(decoded.pts) != len(n.pts) {
+			t.Fatalf("decoded %d entries, encoded %d", len(decoded.pts), len(n.pts))
+		}
+		buf2 := make([]byte, 1<<20)
+		size2, err := decoded.encode(buf2, dim)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(buf1[:size1], buf2[:size2]) {
+			t.Fatalf("encoding is not a fixed point: %d bytes vs %d", size1, size2)
+		}
+	})
+}
+
+// FuzzTreeOps interprets fuzz input as an insert/delete/search program run
+// against a small tree and a brute-force model, checking agreement and
+// invariant cleanliness throughout. Run with
+// `go test -fuzz FuzzTreeOps ./internal/core`.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{0, 10, 20, 0, 200, 210, 1, 10, 20, 2, 0, 0, 255, 255})
+	f.Add(bytes.Repeat([]byte{0, 7, 130, 0, 9, 200, 1, 7, 130}, 20))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		const dim = 2
+		file := pagefile.NewMemFile(256)
+		tree, err := New(file, Config{Dim: dim, PageSize: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type rec struct {
+			p   geom.Point
+			rid RecordID
+		}
+		var model []rec
+		nextRID := RecordID(0)
+		coord := func(b byte) float32 { return float32(b) / 255 }
+		ops := 0
+		for off := 0; off+1+dim <= len(program) && ops < 300; off += 1 + dim {
+			ops++
+			p := geom.Point{coord(program[off+1]), coord(program[off+2])}
+			switch program[off] % 3 {
+			case 0: // insert
+				rid := nextRID
+				nextRID++
+				if err := tree.Insert(p, rid); err != nil {
+					t.Fatalf("op %d: insert: %v", ops, err)
+				}
+				model = append(model, rec{p, rid})
+			case 1: // delete first model entry at this point, or probe a miss
+				target := -1
+				for i, m := range model {
+					if m.p.Equal(p) {
+						target = i
+						break
+					}
+				}
+				var wantRID RecordID
+				if target >= 0 {
+					wantRID = model[target].rid
+				}
+				found, err := tree.Delete(p, wantRID)
+				if err != nil {
+					t.Fatalf("op %d: delete: %v", ops, err)
+				}
+				if found != (target >= 0) {
+					t.Fatalf("op %d: delete found=%v, model says %v", ops, found, target >= 0)
+				}
+				if target >= 0 {
+					model[target] = model[len(model)-1]
+					model = model[:len(model)-1]
+				}
+			case 2: // box search around p
+				rect := geom.Rect{
+					Lo: geom.Point{p[0] - 0.2, p[1] - 0.2},
+					Hi: geom.Point{p[0] + 0.2, p[1] + 0.2},
+				}
+				got, err := tree.SearchBox(rect)
+				if err != nil {
+					t.Fatalf("op %d: search: %v", ops, err)
+				}
+				want := 0
+				for _, m := range model {
+					if rect.Contains(m.p) {
+						want++
+					}
+				}
+				if len(got) != want {
+					t.Fatalf("op %d: box returned %d, model has %d", ops, len(got), want)
+				}
+			}
+		}
+		if tree.Size() != len(model) {
+			t.Fatalf("size = %d, model has %d", tree.Size(), len(model))
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("after %d ops: %v", ops, err)
 		}
 	})
 }

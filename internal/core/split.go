@@ -231,8 +231,8 @@ func (t *Tree) splitDataNode(n *node) (splitResult, error) {
 	if err := t.store.put(right); err != nil {
 		return splitResult{}, err
 	}
-	t.els.Set(uint32(n.id), t.cfg.Space, n.dataRect())
-	t.els.Set(uint32(right.id), t.cfg.Space, right.dataRect())
+	t.elsSet(uint32(n.id), t.cfg.Space, n.dataRect())
+	t.elsSet(uint32(right.id), t.cfg.Space, right.dataRect())
 
 	return splitResult{dim: uint16(dim), lsp: split, rsp: split, left: n.id, right: right.id}, nil
 }
@@ -324,7 +324,7 @@ func (t *Tree) setIndexELS(n *node, entries []childEntry) {
 		childLive, _ := t.els.Get(uint32(e.child), t.cfg.Space)
 		live.EnlargeRect(childLive)
 	}
-	t.els.Set(uint32(n.id), t.cfg.Space, live)
+	t.elsSet(uint32(n.id), t.cfg.Space, live)
 }
 
 // buildKD constructs a fresh intra-node kd-tree over the given children by

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
+	"hybridtree/internal/geom"
 	"hybridtree/internal/pagefile"
 )
 
@@ -32,6 +34,144 @@ type store struct {
 	dim    int
 	shards [cacheShards]cacheShard
 	bufs   sync.Pool // *[]byte scratch pages, one File.PageSize each
+	undo   undoLog
+}
+
+// nodeSnap is a first-touch pre-image of a node, captured while a
+// mutation's undo log is active. Points are never element-mutated by the
+// tree (they are replaced wholesale), so copying the slice contents one
+// level deep is a complete pre-image.
+type nodeSnap struct {
+	leaf   bool
+	pts    []geom.Point
+	rids   []RecordID
+	kd     []kdNode
+	kdRoot int32
+}
+
+func snapshotNode(n *node) nodeSnap {
+	s := nodeSnap{leaf: n.leaf, kdRoot: n.kdRoot}
+	if n.pts != nil {
+		s.pts = append([]geom.Point(nil), n.pts...)
+	}
+	if n.rids != nil {
+		s.rids = append([]RecordID(nil), n.rids...)
+	}
+	if n.kd != nil {
+		s.kd = append([]kdNode(nil), n.kd...)
+	}
+	return s
+}
+
+// undoLog records everything needed to make a failed mutation an exact
+// no-op: pre-images of the nodes it touched, the pages it allocated, and
+// the frees it requested (deferred to commit so rollback never has to
+// resurrect a released page). Ordered slices accompany the maps so that
+// rollback and commit iterate deterministically — map iteration order is
+// randomized in Go, and a nondeterministic order of best-effort page
+// operations would consume fault-injection decisions in random order,
+// breaking trace reproducibility.
+type undoLog struct {
+	active     bool
+	prev       map[pagefile.PageID]nodeSnap
+	prevOrder  []pagefile.PageID
+	fresh      map[pagefile.PageID]struct{}
+	freshOrder []pagefile.PageID
+	frees      []pagefile.PageID
+}
+
+// beginUndo opens an undo scope. Callers hold the writer lock, so no reads
+// race with the bookkeeping that get/alloc/free perform while it is active.
+func (s *store) beginUndo() {
+	s.undo.active = true
+	s.undo.prev = make(map[pagefile.PageID]nodeSnap)
+	s.undo.fresh = make(map[pagefile.PageID]struct{})
+	s.undo.prevOrder = s.undo.prevOrder[:0]
+	s.undo.freshOrder = s.undo.freshOrder[:0]
+	s.undo.frees = s.undo.frees[:0]
+}
+
+func (s *store) undoActive() bool { return s.undo.active }
+
+// observe captures a node's pre-image on first touch.
+func (s *store) observe(n *node) {
+	if !s.undo.active {
+		return
+	}
+	if _, ok := s.undo.fresh[n.id]; ok {
+		return // allocated this mutation; rollback discards it entirely
+	}
+	if _, ok := s.undo.prev[n.id]; ok {
+		return
+	}
+	s.undo.prev[n.id] = snapshotNode(n)
+	s.undo.prevOrder = append(s.undo.prevOrder, n.id)
+}
+
+// rollbackUndo restores the pre-mutation state. The cache is authoritative
+// (write-through, never evicting), so restoring cached nodes restores
+// logical state exactly; re-encoding restored nodes to disk is best-effort
+// repair for a later cache drop and its errors are ignored.
+func (s *store) rollbackUndo() {
+	for i := len(s.undo.freshOrder) - 1; i >= 0; i-- {
+		id := s.undo.freshOrder[i]
+		sh := s.shard(id)
+		sh.mu.Lock()
+		delete(sh.m, id)
+		sh.mu.Unlock()
+		_ = s.file.Free(id) // best effort: the page is unreachable either way
+	}
+	for _, id := range s.undo.prevOrder {
+		snap := s.undo.prev[id]
+		sh := s.shard(id)
+		sh.mu.Lock()
+		n, ok := sh.m[id]
+		if !ok {
+			n = &node{id: id}
+			sh.m[id] = n
+		}
+		n.leaf = snap.leaf
+		n.pts = snap.pts
+		n.rids = snap.rids
+		n.kd = snap.kd
+		n.kdRoot = snap.kdRoot
+		sh.mu.Unlock()
+		bufp := s.bufs.Get().(*[]byte)
+		if size, err := n.encode(*bufp, s.dim); err == nil {
+			_ = s.file.WritePage(id, (*bufp)[:size])
+		}
+		s.bufs.Put(bufp)
+	}
+	s.endUndo()
+}
+
+// commitUndo performs the frees the mutation deferred and closes the
+// scope. It deliberately returns no error: the mutation's logical effect is
+// already fully applied, so a failed Free must not be reported as a failed
+// mutation — the page merely leaks. The number of leaked pages is
+// returned for accounting.
+func (s *store) commitUndo() int {
+	leaked := 0
+	for _, id := range s.undo.frees {
+		sh := s.shard(id)
+		sh.mu.Lock()
+		delete(sh.m, id)
+		sh.mu.Unlock()
+		if err := s.file.Free(id); err != nil {
+			leaked++
+		}
+	}
+	s.endUndo()
+	return leaked
+}
+
+func (s *store) endUndo() {
+	s.undo.active = false
+	s.undo.prev = nil
+	s.undo.fresh = nil
+	s.undo.prevOrder = s.undo.prevOrder[:0]
+	s.undo.freshOrder = s.undo.freshOrder[:0]
+	s.undo.frees = s.undo.frees[:0]
 }
 
 func newStore(file pagefile.File, dim int) *store {
@@ -60,6 +200,7 @@ func (s *store) get(id pagefile.PageID) (*node, error) {
 	sh.mu.RUnlock()
 	if ok {
 		s.file.Stats().AddRandomReads(1)
+		s.observe(n)
 		return n, nil
 	}
 	bufp := s.bufs.Get().(*[]byte)
@@ -81,6 +222,7 @@ func (s *store) get(id pagefile.PageID) (*node, error) {
 		sh.m[id] = n
 	}
 	sh.mu.Unlock()
+	s.observe(n)
 	return n, nil
 }
 
@@ -96,6 +238,10 @@ func (s *store) alloc(leaf bool) (*node, error) {
 	sh.mu.Lock()
 	sh.m[id] = n
 	sh.mu.Unlock()
+	if s.undo.active {
+		s.undo.fresh[id] = struct{}{}
+		s.undo.freshOrder = append(s.undo.freshOrder, id)
+	}
 	return n, nil
 }
 
@@ -117,13 +263,55 @@ func (s *store) put(n *node) error {
 	return nil
 }
 
-// free releases the node's page and drops it from the cache.
+// free releases the node's page and drops it from the cache. Inside an
+// undo scope the release is deferred to commit: rollback must be able to
+// return to the pre-mutation state without resurrecting pages, and a page
+// the mutation logically freed is unreachable either way.
 func (s *store) free(id pagefile.PageID) error {
+	if s.undo.active {
+		s.undo.frees = append(s.undo.frees, id)
+		return nil
+	}
 	sh := s.shard(id)
 	sh.mu.Lock()
 	delete(sh.m, id)
 	sh.mu.Unlock()
 	return s.file.Free(id)
+}
+
+// flushAll re-encodes every cached node to its page in ascending id order,
+// repairing any disk pages that a faulty write left stale or torn. It stops
+// at the first error.
+func (s *store) flushAll() error {
+	var ids []pagefile.PageID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.m {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		sh := s.shard(id)
+		sh.mu.RLock()
+		n, ok := sh.m[id]
+		sh.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		bufp := s.bufs.Get().(*[]byte)
+		size, err := n.encode(*bufp, s.dim)
+		if err == nil {
+			err = s.file.WritePage(id, (*bufp)[:size])
+		}
+		s.bufs.Put(bufp)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // dropCache empties the decoded-node cache (used by tests that want to

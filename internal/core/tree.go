@@ -29,6 +29,134 @@ type Tree struct {
 	// methods; see queryctx.go. Safe for the concurrent read path: pooled
 	// contexts are exclusive to one search at a time by construction.
 	qcPool sync.Pool
+	// elsLog holds first-touch ELS pre-images while a mutation is open, so
+	// rollback can restore the side table exactly.
+	elsLog elsUndo
+	// leakedPages counts pages whose deferred release failed during commit.
+	// The records they held are safe (the mutation had already detached
+	// them); only the space is lost.
+	leakedPages int
+}
+
+// elsPre is the pre-image of one ELS entry: its encoding, or its absence.
+type elsPre struct {
+	enc     els.Encoded
+	present bool
+}
+
+type elsUndo struct {
+	active bool
+	prev   map[uint32]elsPre
+	order  []uint32
+}
+
+// mutationScope captures the Tree-level state a rollback must restore.
+// Nested scopes (Delete's orphan reinsertion calling Insert) are no-ops:
+// the outermost scope owns the undo log.
+type mutationScope struct {
+	root   pagefile.PageID
+	height int
+	size   int
+	nested bool
+}
+
+// beginMutation opens an undo scope covering the store, the ELS table and
+// the Tree's own header fields. Every public mutation wraps itself in one
+// so that a failed operation — including one that fails partway through a
+// node split or an orphan reinsertion — leaves the tree exactly as it was.
+func (t *Tree) beginMutation() mutationScope {
+	if t.store.undoActive() {
+		return mutationScope{nested: true}
+	}
+	t.store.beginUndo()
+	t.elsLog.active = true
+	t.elsLog.prev = make(map[uint32]elsPre)
+	t.elsLog.order = t.elsLog.order[:0]
+	return mutationScope{root: t.root, height: t.height, size: t.size}
+}
+
+// rollbackMutation restores the pre-mutation state after an error.
+func (t *Tree) rollbackMutation(m mutationScope) {
+	if m.nested {
+		return
+	}
+	t.store.rollbackUndo()
+	for _, id := range t.elsLog.order {
+		pre := t.elsLog.prev[id]
+		if pre.present {
+			t.els.Restore(id, pre.enc)
+		} else {
+			t.els.Delete(id)
+		}
+	}
+	t.endELSLog()
+	t.root, t.height, t.size = m.root, m.height, m.size
+}
+
+// commitMutation closes the scope and performs the deferred page frees. It
+// deliberately returns nothing: the mutation's logical effect is fully
+// applied by now, and reporting a failed deferred free as a failed
+// mutation would make callers treat a committed change as a no-op. Failed
+// frees only leak space, which LeakedPages exposes.
+func (t *Tree) commitMutation(m mutationScope) {
+	if m.nested {
+		return
+	}
+	t.leakedPages += t.store.commitUndo()
+	t.endELSLog()
+}
+
+func (t *Tree) endELSLog() {
+	t.elsLog.active = false
+	t.elsLog.prev = nil
+	t.elsLog.order = t.elsLog.order[:0]
+}
+
+// elsObserve captures the pre-image of an ELS entry on first touch.
+func (t *Tree) elsObserve(id uint32) {
+	if !t.elsLog.active {
+		return
+	}
+	if _, ok := t.elsLog.prev[id]; ok {
+		return
+	}
+	enc, ok := t.els.Encoded(id)
+	t.elsLog.prev[id] = elsPre{enc: enc, present: ok}
+	t.elsLog.order = append(t.elsLog.order, id)
+}
+
+// elsSet, elsEnlarge and elsDelete are the mutation path's ELS accessors:
+// identical to the table's own methods, plus undo capture.
+func (t *Tree) elsSet(id uint32, outer, live geom.Rect) {
+	t.elsObserve(id)
+	t.els.Set(id, outer, live)
+}
+
+func (t *Tree) elsEnlarge(id uint32, outer geom.Rect, p geom.Point) {
+	t.elsObserve(id)
+	t.els.EnlargeToInclude(id, outer, p)
+}
+
+func (t *Tree) elsDelete(id uint32) {
+	t.elsObserve(id)
+	t.els.Delete(id)
+}
+
+// LeakedPages reports how many pages could not be released because their
+// deferred free failed at commit (injected storage faults). The pages hold
+// no live records; only their space is lost until the file is rebuilt.
+func (t *Tree) LeakedPages() int { return t.leakedPages }
+
+// Flush re-encodes every cached node to its page and rewrites the
+// metadata page. The decoded-node cache is authoritative (write-through,
+// never evicting), so after a period of injected write faults a clean
+// Flush makes the on-disk image match memory again — the repair step to
+// run before dropping caches.
+func (t *Tree) Flush() error {
+	if err := t.store.flushAll(); err != nil {
+		return err
+	}
+	return t.writeMeta()
 }
 
 // New creates an empty hybrid tree on file. Page 0 of the file is used for
@@ -184,6 +312,9 @@ func (t *Tree) SetELSPrecision(bits int) error {
 // Insert adds (p, rid) to the tree. The vector must lie inside the
 // configured data space and have the configured dimensionality. Duplicate
 // (vector, rid) pairs are stored as distinct entries.
+//
+// Insert is atomic: when it returns an error, the tree — nodes, header,
+// ELS side table — is exactly as it was before the call.
 func (t *Tree) Insert(p geom.Point, rid RecordID) error {
 	if len(p) != t.cfg.Dim {
 		return fmt.Errorf("core: vector has dim %d, tree expects %d", len(p), t.cfg.Dim)
@@ -191,6 +322,16 @@ func (t *Tree) Insert(p geom.Point, rid RecordID) error {
 	if !t.cfg.Space.Contains(p) {
 		return fmt.Errorf("core: vector %v outside the data space %v", p, t.cfg.Space)
 	}
+	m := t.beginMutation()
+	if err := t.insertRecord(p, rid); err != nil {
+		t.rollbackMutation(m)
+		return err
+	}
+	t.commitMutation(m)
+	return nil
+}
+
+func (t *Tree) insertRecord(p geom.Point, rid RecordID) error {
 	sr, err := t.insertAt(t.root, t.cfg.Space, p.Clone(), rid)
 	if err != nil {
 		return err
@@ -244,7 +385,7 @@ func (t *Tree) insertAt(id pagefile.PageID, br geom.Rect, p geom.Point, rid Reco
 		if err := t.store.put(n); err != nil {
 			return nil, err
 		}
-		t.els.Set(uint32(n.id), t.cfg.Space, n.dataRect())
+		t.elsSet(uint32(n.id), t.cfg.Space, n.dataRect())
 		return nil, nil
 	}
 
@@ -252,7 +393,7 @@ func (t *Tree) insertAt(id pagefile.PageID, br geom.Rect, p geom.Point, rid Reco
 	dirty := widenPath(n, path, p)
 	childBR := pathBR(n, br, path)
 	childID := n.kd[leafIdx].Child
-	t.els.EnlargeToInclude(uint32(childID), t.cfg.Space, p)
+	t.elsEnlarge(uint32(childID), t.cfg.Space, p)
 
 	sr, err := t.insertAt(childID, childBR, p, rid)
 	if err != nil {
@@ -402,10 +543,25 @@ func pathBR(n *node, nodeBR geom.Rect, path []int32) geom.Rect {
 // was found. Underfull data nodes are eliminated and their remaining
 // entries reinserted, the R-tree eliminate-and-reinsert policy the paper
 // adopts (Section 3.5).
+//
+// Delete is atomic: an error at any point — including partway through the
+// orphan reinsertions — rolls the tree back to its pre-call state, so no
+// record is ever lost or duplicated by a failed delete.
 func (t *Tree) Delete(p geom.Point, rid RecordID) (bool, error) {
 	if len(p) != t.cfg.Dim {
 		return false, fmt.Errorf("core: vector has dim %d, tree expects %d", len(p), t.cfg.Dim)
 	}
+	m := t.beginMutation()
+	found, err := t.deleteRecord(p, rid)
+	if err != nil {
+		t.rollbackMutation(m)
+		return false, err
+	}
+	t.commitMutation(m)
+	return found, nil
+}
+
+func (t *Tree) deleteRecord(p geom.Point, rid RecordID) (bool, error) {
 	var orphanPts []geom.Point
 	var orphanRids []RecordID
 	found, _, err := t.deleteAt(t.root, t.cfg.Space, p, rid, t.height, &orphanPts, &orphanRids)
@@ -429,7 +585,7 @@ func (t *Tree) Delete(p geom.Point, rid RecordID) (bool, error) {
 		if err := t.store.free(t.root); err != nil {
 			return false, err
 		}
-		t.els.Delete(uint32(t.root))
+		t.elsDelete(uint32(t.root))
 		t.root = child
 		t.height--
 	}
@@ -541,7 +697,7 @@ func (t *Tree) deleteAt(id pagefile.PageID, br geom.Rect, p geom.Point, rid Reco
 			if err := t.store.free(c.child); err != nil {
 				return false, false, err
 			}
-			t.els.Delete(uint32(c.child))
+			t.elsDelete(uint32(c.child))
 		}
 		return true, false, t.store.put(n)
 	}
@@ -563,7 +719,7 @@ func (t *Tree) freeSubtree(id pagefile.PageID) error {
 			}
 		}
 	}
-	t.els.Delete(uint32(id))
+	t.elsDelete(uint32(id))
 	return t.store.free(id)
 }
 

@@ -542,7 +542,7 @@ func TestFaultInjection(t *testing.T) {
 	// Burn the fuse and verify errors propagate. The decoded cache can
 	// absorb reads, so force decode paths too.
 	tree.DropCaches()
-	file.Remaining = 0
+	file.SetRemaining(0)
 	if err := insert(); !errors.Is(err, pagefile.ErrInjected) {
 		t.Fatalf("insert error = %v, want ErrInjected", err)
 	}

@@ -146,7 +146,7 @@ func TestVisitSurfacesErrors(t *testing.T) {
 		}
 	}
 	tree.DropCaches()
-	fault.Remaining = 0
+	fault.SetRemaining(0)
 	err = tree.SearchBoxFunc(geom.UnitCube(4), func(Entry) bool { return true })
 	if !errors.Is(err, pagefile.ErrInjected) {
 		t.Fatalf("err = %v, want ErrInjected", err)

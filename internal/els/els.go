@@ -150,6 +150,17 @@ func (t *Table) EnlargeToInclude(id uint32, outer geom.Rect, p geom.Point) {
 	t.setLocked(id, outer, live)
 }
 
+// Encoded returns the raw stored encoding for id, if any. The returned
+// slice is shared with the table — callers must not mutate it. Rollback
+// machinery uses this to capture exact pre-images; Set always installs a
+// freshly allocated encoding, so a captured slice stays intact.
+func (t *Table) Encoded(id uint32) (Encoded, bool) {
+	t.mu.RLock()
+	e, ok := t.enc[id]
+	t.mu.RUnlock()
+	return e, ok
+}
+
 // Delete removes id's encoding (when its node is freed).
 func (t *Table) Delete(id uint32) {
 	t.mu.Lock()
@@ -179,14 +190,16 @@ func (t *Table) Snapshot() (ids []uint32, encs []Encoded) {
 	return ids, encs
 }
 
-// Restore installs an encoding captured by Snapshot. The decoded memo is
-// populated lazily on the first Get.
+// Restore installs an encoding captured by Snapshot or Encoded. Any stale
+// decoded memo for id is dropped; the memo repopulates lazily on the first
+// Get.
 func (t *Table) Restore(id uint32, enc Encoded) {
 	if !t.Enabled() {
 		return
 	}
 	t.mu.Lock()
 	t.enc[id] = enc
+	delete(t.dec, id)
 	t.mu.Unlock()
 }
 

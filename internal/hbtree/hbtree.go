@@ -657,6 +657,13 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 	return out, err
 }
 
+// Delete implements index.Index; unsupported. Deletion in an hB-tree
+// requires merging holey-brick fragments across sibling kd-subtrees, which
+// the paper's evaluation (insert-then-query workloads) never exercises.
+func (t *Tree) Delete(geom.Point, uint64) (bool, error) {
+	return false, index.ErrUnsupported
+}
+
 // SearchRange implements index.Index; unsupported, as in the paper.
 func (t *Tree) SearchRange(geom.Point, float64, dist.Metric) ([]index.Neighbor, error) {
 	return nil, index.ErrUnsupported

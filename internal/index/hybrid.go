@@ -29,6 +29,11 @@ func (h *Hybrid) Insert(p geom.Point, rid uint64) error {
 	return h.Tree.Insert(p, core.RecordID(rid))
 }
 
+// Delete implements Index.
+func (h *Hybrid) Delete(p geom.Point, rid uint64) (bool, error) {
+	return h.Tree.Delete(p, core.RecordID(rid))
+}
+
 // SearchBox implements Index.
 func (h *Hybrid) SearchBox(q geom.Rect) ([]Entry, error) {
 	es, err := h.Tree.SearchBox(q)

@@ -36,6 +36,9 @@ type Index interface {
 	Name() string
 	// Insert adds one (vector, record id) pair.
 	Insert(p geom.Point, rid uint64) error
+	// Delete removes one entry matching (p, rid) exactly, reporting whether
+	// it was found, or returns ErrUnsupported.
+	Delete(p geom.Point, rid uint64) (bool, error)
 	// SearchBox returns all entries inside q, boundaries inclusive.
 	SearchBox(q geom.Rect) ([]Entry, error)
 	// SearchRange returns all entries within radius of q under m, or

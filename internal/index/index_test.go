@@ -266,7 +266,7 @@ func TestAllMethodsSurfaceErrors(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			fault.Remaining = 0
+			fault.SetRemaining(0)
 			if err := idx.Insert(pts[0], 999999); !errors.Is(err, pagefile.ErrInjected) {
 				t.Fatalf("%s: insert error = %v", idx.Name(), err)
 			}

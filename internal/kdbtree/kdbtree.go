@@ -138,6 +138,51 @@ func (t *Tree) Insert(p geom.Point, rid uint64) error {
 	return nil
 }
 
+// Delete implements index.Index. Regions are disjoint, but a point on a
+// shared boundary lies in both closed rectangles, so every containing
+// region is probed. Empty point pages are already legal in a K-D-B-tree
+// (split cascades create them), so no restructuring is needed.
+func (t *Tree) Delete(p geom.Point, rid uint64) (bool, error) {
+	if len(p) != t.cfg.Dim {
+		return false, fmt.Errorf("kdbtree: vector has dim %d, want %d", len(p), t.cfg.Dim)
+	}
+	found, err := t.deleteAt(t.root, p, rid)
+	if err != nil || !found {
+		return false, err
+	}
+	t.size--
+	return true, nil
+}
+
+func (t *Tree) deleteAt(id pagefile.PageID, p geom.Point, rid uint64) (bool, error) {
+	n, err := t.store.Get(id)
+	if err != nil {
+		return false, err
+	}
+	if n.leaf {
+		for i := range n.pts {
+			if n.rids[i] == rid && n.pts[i].Equal(p) {
+				last := len(n.pts) - 1
+				n.pts[i], n.rids[i] = n.pts[last], n.rids[last]
+				n.pts = n.pts[:last]
+				n.rids = n.rids[:last]
+				return true, t.store.Put(n.id, n)
+			}
+		}
+		return false, nil
+	}
+	for i := range n.rects {
+		if !n.rects[i].Contains(p) {
+			continue
+		}
+		found, err := t.deleteAt(n.children[i], p, rid)
+		if err != nil || found {
+			return found, err
+		}
+	}
+	return false, nil
+}
+
 type splitInfo struct {
 	leftRect, rightRect geom.Rect
 	left, right         pagefile.PageID

@@ -1,0 +1,221 @@
+package pagefile
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// ChaosProfile gives per-operation-kind fault probabilities for a ChaosFile.
+// All rates are independent probabilities in [0, 1]; for writes the three
+// modes are mutually exclusive and tested in order (error, torn, short).
+type ChaosProfile struct {
+	// ReadErr is the probability a read fails outright with ErrInjected.
+	ReadErr float64
+	// ReadCorrupt is the probability a read succeeds but returns a buffer
+	// with one byte flipped — silent corruption a ChecksumFile layered above
+	// turns into a detected ErrChecksum.
+	ReadCorrupt float64
+	// WriteErr is the probability a write fails with nothing persisted.
+	WriteErr float64
+	// WriteTorn is the probability a write persists only a prefix of the
+	// page and then fails with ErrInjected (a torn page).
+	WriteTorn float64
+	// WriteShort is the probability a write persists only a prefix but
+	// reports success — the silent variant of a torn page.
+	WriteShort float64
+	// AllocErr and FreeErr fail Allocate and Free with ErrInjected.
+	AllocErr float64
+	FreeErr  float64
+}
+
+// Zero reports whether the profile injects nothing.
+func (p ChaosProfile) Zero() bool {
+	return p.ReadErr == 0 && p.ReadCorrupt == 0 && p.WriteErr == 0 &&
+		p.WriteTorn == 0 && p.WriteShort == 0 && p.AllocErr == 0 && p.FreeErr == 0
+}
+
+// ChaosCounts tallies the faults a ChaosFile actually injected.
+type ChaosCounts struct {
+	ReadErrs     uint64
+	ReadCorrupts uint64
+	WriteErrs    uint64
+	WriteTorn    uint64
+	WriteShort   uint64
+	AllocErrs    uint64
+	FreeErrs     uint64
+}
+
+// Total returns the number of injected faults of all kinds.
+func (c ChaosCounts) Total() uint64 {
+	return c.ReadErrs + c.ReadCorrupts + c.WriteErrs + c.WriteTorn +
+		c.WriteShort + c.AllocErrs + c.FreeErrs
+}
+
+// ChaosFile wraps a File and injects faults probabilistically from a seeded
+// random source, so a whole workload's fault schedule is reproducible from
+// (seed, operation sequence) alone. Unlike FaultFile's one-shot fuse, a
+// ChaosFile also models the failure modes that don't announce themselves:
+// torn writes, short writes reported as successes, and bit corruption on
+// read. Layer a ChecksumFile above it to turn the silent modes into
+// detected errors.
+//
+// The file is safe for concurrent use; the rng is mutex-guarded, so fault
+// decisions are serialized in call order (deterministic for single-threaded
+// drivers such as the workload simulator).
+type ChaosFile struct {
+	File
+	mu      sync.Mutex
+	rng     *rand.Rand
+	profile ChaosProfile
+	enabled bool
+	counts  ChaosCounts
+}
+
+// NewChaosFile wraps inner with the given fault profile and seed. The file
+// starts enabled.
+func NewChaosFile(inner File, profile ChaosProfile, seed int64) *ChaosFile {
+	return &ChaosFile{File: inner, rng: rand.New(rand.NewSource(seed)), profile: profile, enabled: true}
+}
+
+// SetEnabled toggles fault injection without disturbing the rng stream's
+// determinism for operations issued while enabled.
+func (f *ChaosFile) SetEnabled(on bool) {
+	f.mu.Lock()
+	f.enabled = on
+	f.mu.Unlock()
+}
+
+// Counts returns the faults injected so far.
+func (f *ChaosFile) Counts() ChaosCounts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts
+}
+
+type chaosAction int
+
+const (
+	actNone chaosAction = iota
+	actErr
+	actCorrupt // reads only
+	actTorn    // writes only
+	actShort   // writes only
+)
+
+// decideRead draws one fault decision for a read. corruptAt is the byte
+// offset to flip when the action is actCorrupt.
+func (f *ChaosFile) decideRead(bufLen int) (chaosAction, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.enabled {
+		return actNone, 0
+	}
+	r := f.rng.Float64()
+	switch {
+	case r < f.profile.ReadErr:
+		f.counts.ReadErrs++
+		return actErr, 0
+	case r < f.profile.ReadErr+f.profile.ReadCorrupt:
+		f.counts.ReadCorrupts++
+		return actCorrupt, f.rng.Intn(bufLen)
+	}
+	return actNone, 0
+}
+
+// decideWrite draws one fault decision for a write. prefix is the number of
+// bytes to persist for torn/short writes.
+func (f *ChaosFile) decideWrite(dataLen int) (chaosAction, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.enabled {
+		return actNone, 0
+	}
+	r := f.rng.Float64()
+	p := f.profile
+	switch {
+	case r < p.WriteErr:
+		f.counts.WriteErrs++
+		return actErr, 0
+	case r < p.WriteErr+p.WriteTorn:
+		f.counts.WriteTorn++
+		return actTorn, f.rng.Intn(dataLen + 1)
+	case r < p.WriteErr+p.WriteTorn+p.WriteShort:
+		f.counts.WriteShort++
+		return actShort, f.rng.Intn(dataLen + 1)
+	}
+	return actNone, 0
+}
+
+func (f *ChaosFile) decideSimple(rate float64, count *uint64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.enabled || f.rng.Float64() >= rate {
+		return false
+	}
+	*count++
+	return true
+}
+
+// ReadPage implements File with probabilistic fault injection.
+func (f *ChaosFile) ReadPage(id PageID, buf []byte) error {
+	act, pos := f.decideRead(len(buf))
+	if act == actErr {
+		return ErrInjected
+	}
+	if err := f.File.ReadPage(id, buf); err != nil {
+		return err
+	}
+	if act == actCorrupt {
+		buf[pos] ^= 0xA5
+	}
+	return nil
+}
+
+// ReadPageSeq implements File with probabilistic fault injection.
+func (f *ChaosFile) ReadPageSeq(id PageID, buf []byte) error {
+	act, pos := f.decideRead(len(buf))
+	if act == actErr {
+		return ErrInjected
+	}
+	if err := f.File.ReadPageSeq(id, buf); err != nil {
+		return err
+	}
+	if act == actCorrupt {
+		buf[pos] ^= 0xA5
+	}
+	return nil
+}
+
+// WritePage implements File with probabilistic fault injection. Torn and
+// short writes persist data[:prefix]; the underlying page file zero-fills
+// the remainder, which is exactly what makes the damage detectable by a
+// checksum layer sitting above this one.
+func (f *ChaosFile) WritePage(id PageID, data []byte) error {
+	act, prefix := f.decideWrite(len(data))
+	switch act {
+	case actErr:
+		return ErrInjected
+	case actTorn:
+		_ = f.File.WritePage(id, data[:prefix]) // damage lands regardless
+		return ErrInjected
+	case actShort:
+		return f.File.WritePage(id, data[:prefix])
+	}
+	return f.File.WritePage(id, data)
+}
+
+// Allocate implements File with probabilistic fault injection.
+func (f *ChaosFile) Allocate() (PageID, error) {
+	if f.decideSimple(f.profile.AllocErr, &f.counts.AllocErrs) {
+		return InvalidPage, ErrInjected
+	}
+	return f.File.Allocate()
+}
+
+// Free implements File with probabilistic fault injection.
+func (f *ChaosFile) Free(id PageID) error {
+	if f.decideSimple(f.profile.FreeErr, &f.counts.FreeErrs) {
+		return ErrInjected
+	}
+	return f.File.Free(id)
+}

@@ -1,0 +1,135 @@
+package pagefile
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// ChecksumOverhead is the number of bytes ChecksumFile reserves at the end
+// of each underlying page for the CRC.
+const ChecksumOverhead = 4
+
+// ErrChecksum reports that a page's stored checksum does not match its
+// contents — the page was torn, partially written, or corrupted at rest.
+var ErrChecksum = errors.New("pagefile: page checksum mismatch")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumFile wraps a File and maintains a CRC32-C checksum in the last
+// four bytes of every page, verified on every read. Its PageSize is the
+// inner file's minus ChecksumOverhead: callers see only the payload.
+//
+// A page whose raw contents are entirely zero is treated as a valid,
+// never-written page (freshly allocated pages read as zeros and cannot
+// carry a checksum yet); any other corruption — a torn write that
+// zero-filled the tail, a flipped bit at rest — fails the CRC and surfaces
+// as ErrChecksum. Checksums turn the silent-corruption failure modes
+// ChaosFile injects into detected read errors, which is the contract the
+// recovery paths above this layer are written against.
+type ChecksumFile struct {
+	inner File
+	bufs  sync.Pool // *[]byte raw pages, inner.PageSize() bytes each
+}
+
+// NewChecksumFile wraps inner. The inner page size must exceed
+// ChecksumOverhead.
+func NewChecksumFile(inner File) *ChecksumFile {
+	if inner.PageSize() <= ChecksumOverhead {
+		panic(fmt.Sprintf("pagefile: inner page size %d too small for checksums", inner.PageSize()))
+	}
+	f := &ChecksumFile{inner: inner}
+	raw := inner.PageSize()
+	f.bufs.New = func() any {
+		b := make([]byte, raw)
+		return &b
+	}
+	return f
+}
+
+// PageSize implements File: the payload size available to callers.
+func (f *ChecksumFile) PageSize() int { return f.inner.PageSize() - ChecksumOverhead }
+
+// Stats implements File.
+func (f *ChecksumFile) Stats() *Stats { return f.inner.Stats() }
+
+// NumPages implements File.
+func (f *ChecksumFile) NumPages() int { return f.inner.NumPages() }
+
+// Allocate implements File.
+func (f *ChecksumFile) Allocate() (PageID, error) { return f.inner.Allocate() }
+
+// Free implements File.
+func (f *ChecksumFile) Free(id PageID) error { return f.inner.Free(id) }
+
+// Close implements File.
+func (f *ChecksumFile) Close() error { return f.inner.Close() }
+
+func (f *ChecksumFile) read(id PageID, buf []byte, seq bool) error {
+	rawp := f.bufs.Get().(*[]byte)
+	defer f.bufs.Put(rawp)
+	raw := *rawp
+	var err error
+	if seq {
+		err = f.inner.ReadPageSeq(id, raw)
+	} else {
+		err = f.inner.ReadPage(id, raw)
+	}
+	if err != nil {
+		return err
+	}
+	payload := raw[:len(raw)-ChecksumOverhead]
+	stored := uint32(raw[len(raw)-4]) | uint32(raw[len(raw)-3])<<8 |
+		uint32(raw[len(raw)-2])<<16 | uint32(raw[len(raw)-1])<<24
+	if stored != crc32.Checksum(payload, castagnoli) {
+		if allZero(raw) {
+			// Freshly allocated, never written: zeros are the legitimate
+			// initial state and carry no checksum.
+			copy(buf, payload)
+			return nil
+		}
+		return fmt.Errorf("%w: page %d", ErrChecksum, id)
+	}
+	copy(buf, payload)
+	return nil
+}
+
+// ReadPage implements File, verifying the page checksum.
+func (f *ChecksumFile) ReadPage(id PageID, buf []byte) error {
+	return f.read(id, buf, false)
+}
+
+// ReadPageSeq implements File, verifying the page checksum.
+func (f *ChecksumFile) ReadPageSeq(id PageID, buf []byte) error {
+	return f.read(id, buf, true)
+}
+
+// WritePage implements File, appending the payload checksum.
+func (f *ChecksumFile) WritePage(id PageID, data []byte) error {
+	if len(data) > f.PageSize() {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), f.PageSize())
+	}
+	rawp := f.bufs.Get().(*[]byte)
+	defer f.bufs.Put(rawp)
+	raw := *rawp
+	n := copy(raw, data)
+	for i := n; i < len(raw); i++ {
+		raw[i] = 0
+	}
+	crc := crc32.Checksum(raw[:len(raw)-ChecksumOverhead], castagnoli)
+	raw[len(raw)-4] = byte(crc)
+	raw[len(raw)-3] = byte(crc >> 8)
+	raw[len(raw)-2] = byte(crc >> 16)
+	raw[len(raw)-1] = byte(crc >> 24)
+	return f.inner.WritePage(id, raw)
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -113,7 +113,7 @@ func TestBufferedFlushPropagatesErrors(t *testing.T) {
 	if err := b.WritePage(id, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	fault.Remaining = 0
+	fault.SetRemaining(0)
 	if err := b.Flush(); !errors.Is(err, ErrInjected) {
 		t.Fatalf("flush err = %v, want ErrInjected", err)
 	}

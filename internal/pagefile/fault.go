@@ -1,32 +1,81 @@
 package pagefile
 
-import "errors"
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+)
 
-// ErrInjected is the error produced by a FaultFile when its fuse burns.
+// ErrInjected is the error produced by fault-injecting wrappers (FaultFile,
+// ChaosFile) when they decide an operation fails.
 var ErrInjected = errors.New("pagefile: injected fault")
 
 // FaultFile wraps a File and fails operations once a countdown of successful
 // operations is exhausted. It exists for failure-injection tests: index
 // structures must surface storage errors to their callers, never swallow
 // them or corrupt in-memory state.
+//
+// The countdown is atomic, so concurrent searches racing over the fuse see a
+// consistent budget: exactly Remaining operations succeed, no matter how
+// they interleave. An optional heal-after-N mode (SetHealAfter) lets the
+// file recover after a burst of failures, so tests can drive an index into
+// an error state and then verify the subsequent recovery path.
 type FaultFile struct {
 	File
-	// Remaining is the number of operations allowed to succeed before every
-	// subsequent operation fails with ErrInjected.
-	Remaining int
+	remaining atomic.Int64
+	// healAfter counts injected failures still to serve before the file
+	// heals permanently; 0 means never heal (the classic burnt fuse).
+	healAfter atomic.Int64
 }
 
 // NewFaultFile wraps inner; the first n operations succeed, the rest fail.
 func NewFaultFile(inner File, n int) *FaultFile {
-	return &FaultFile{File: inner, Remaining: n}
+	f := &FaultFile{File: inner}
+	f.remaining.Store(int64(n))
+	return f
 }
 
-func (f *FaultFile) spend() error {
-	if f.Remaining <= 0 {
-		return ErrInjected
+// Remaining returns the number of operations still allowed to succeed.
+func (f *FaultFile) Remaining() int {
+	r := f.remaining.Load()
+	if r < 0 {
+		return 0
 	}
-	f.Remaining--
-	return nil
+	return int(r)
+}
+
+// SetRemaining rearms (or burns, with n == 0) the fuse.
+func (f *FaultFile) SetRemaining(n int) { f.remaining.Store(int64(n)) }
+
+// SetHealAfter arms heal-after-N mode: once the success budget is spent, the
+// next n operations fail with ErrInjected and every operation after that
+// succeeds again. n == 0 restores the default fail-forever behavior.
+func (f *FaultFile) SetHealAfter(n int) { f.healAfter.Store(int64(n)) }
+
+func (f *FaultFile) spend() error {
+	for {
+		r := f.remaining.Load()
+		if r <= 0 {
+			break
+		}
+		if f.remaining.CompareAndSwap(r, r-1) {
+			return nil
+		}
+	}
+	// Budget exhausted: serve a failure, healing once the armed burst is
+	// used up.
+	for {
+		h := f.healAfter.Load()
+		if h <= 0 {
+			return ErrInjected // heal mode off (or raced to exhaustion)
+		}
+		if f.healAfter.CompareAndSwap(h, h-1) {
+			if h == 1 {
+				f.remaining.Store(math.MaxInt64) // healed for good
+			}
+			return ErrInjected
+		}
+	}
 }
 
 // ReadPage implements File with fault injection.

@@ -88,6 +88,78 @@ func (s *Scan) Insert(p geom.Point, rid uint64) error {
 	return s.file.WritePage(id, buf[:off])
 }
 
+// Delete implements index.Index: the matching entry is overwritten with the
+// final entry of the final page, which then shrinks by one (the classic
+// heap-file delete). An emptied final page is released.
+func (s *Scan) Delete(p geom.Point, rid uint64) (bool, error) {
+	if len(p) != s.dim {
+		return false, fmt.Errorf("seqscan: vector has dim %d, want %d", len(p), s.dim)
+	}
+	entrySize := 8 + 4*s.dim
+	buf := s.buf
+	for _, id := range s.pages {
+		if err := s.file.ReadPageSeq(id, buf); err != nil {
+			return false, err
+		}
+		n := int(binary.LittleEndian.Uint16(buf))
+		for i := 0; i < n; i++ {
+			off := headerSize + i*entrySize
+			if binary.LittleEndian.Uint64(buf[off:]) != rid {
+				continue
+			}
+			match := true
+			for d := 0; d < s.dim; d++ {
+				v := math.Float32frombits(binary.LittleEndian.Uint32(buf[off+8+4*d:]))
+				if v != p[d] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			// Pull the last entry of the last page into the hole.
+			lastPage := s.pages[len(s.pages)-1]
+			if lastPage == id {
+				lastOff := headerSize + (n-1)*entrySize
+				copy(buf[off:off+entrySize], buf[lastOff:lastOff+entrySize])
+				binary.LittleEndian.PutUint16(buf, uint16(n-1))
+				if err := s.file.WritePage(id, buf[:headerSize+(n-1)*entrySize]); err != nil {
+					return false, err
+				}
+			} else {
+				last := make([]byte, s.file.PageSize())
+				if err := s.file.ReadPageSeq(lastPage, last); err != nil {
+					return false, err
+				}
+				lastOff := headerSize + (s.lastFill-1)*entrySize
+				copy(buf[off:off+entrySize], last[lastOff:lastOff+entrySize])
+				binary.LittleEndian.PutUint16(last, uint16(s.lastFill-1))
+				if err := s.file.WritePage(id, buf[:headerSize+n*entrySize]); err != nil {
+					return false, err
+				}
+				if err := s.file.WritePage(lastPage, last[:headerSize+(s.lastFill-1)*entrySize]); err != nil {
+					return false, err
+				}
+			}
+			s.lastFill--
+			s.count--
+			if s.lastFill == 0 {
+				freed := s.pages[len(s.pages)-1]
+				s.pages = s.pages[:len(s.pages)-1]
+				if len(s.pages) > 0 {
+					s.lastFill = s.perPage
+				}
+				if err := s.file.Free(freed); err != nil {
+					return false, err
+				}
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
 // scan streams every entry through fn, counting sequential reads. The point
 // passed to fn is a scratch buffer valid only for the duration of the call;
 // callbacks that keep it must Clone it.

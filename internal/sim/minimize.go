@@ -1,0 +1,76 @@
+package sim
+
+import "errors"
+
+// Replay runs one access method over an explicit trace (rather than
+// generating one from cfg.Trace). It is the replay half of the
+// fail-with-a-reproducer contract: feed it the seed's trace truncated at
+// the divergence, or a minimized trace, and it reproduces the failure.
+func Replay(cfg Config, name string, trace []Op) (IndexReport, error) {
+	cfg = cfg.withDefaults()
+	return runIndex(cfg, name, trace)
+}
+
+// failsWith reports whether the trace still produces a differential
+// divergence (not an infrastructure error) for the named index.
+func failsWith(cfg Config, name string, trace []Op) bool {
+	_, err := runIndex(cfg, name, trace)
+	var d *Divergence
+	return errors.As(err, &d)
+}
+
+// Minimize shrinks a failing trace with bounded delta-debugging: it
+// repeatedly removes chunks, keeping any candidate that still diverges.
+// The fault schedule is positional, so removing ops shifts which
+// operations draw which faults — every candidate is re-run from scratch
+// and kept only if it actually still fails. budget caps the number of
+// re-runs (<=0 means a default of 60). The input trace is not modified.
+func Minimize(cfg Config, name string, trace []Op, budget int) []Op {
+	cfg = cfg.withDefaults()
+	return minimizeWith(func(t []Op) bool { return failsWith(cfg, name, t) }, trace, budget)
+}
+
+// minimizeWith is the ddmin core over an arbitrary failure predicate.
+func minimizeWith(fails func([]Op) bool, trace []Op, budget int) []Op {
+	if budget <= 0 {
+		budget = 60
+	}
+	cur := append([]Op(nil), trace...)
+	if !fails(cur) {
+		return cur // not reproducible as given; nothing to shrink
+	}
+	budget--
+
+	chunks := 2
+	for chunks <= len(cur) && budget > 0 {
+		size := (len(cur) + chunks - 1) / chunks
+		shrunk := false
+		for start := 0; start < len(cur) && budget > 0; start += size {
+			end := start + size
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Op, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			budget--
+			if fails(cand) {
+				cur = cand
+				shrunk = true
+				break // chunk boundaries moved; restart the scan
+			}
+		}
+		if !shrunk {
+			if size == 1 {
+				break
+			}
+			chunks *= 2
+		} else {
+			chunks = 2
+		}
+	}
+	return cur
+}

@@ -160,6 +160,61 @@ func (t *Tree) Insert(p geom.Point, rid uint64) error {
 	return nil
 }
 
+// Delete implements index.Index. The descent follows bounding rectangles,
+// which entryFor keeps exact, so every copy of the entry is reachable.
+// Emptied nodes are kept in place with empty regions (like the KDB-tree's
+// empty regions); their entries stop matching any query and future inserts
+// may repopulate them.
+func (t *Tree) Delete(p geom.Point, rid uint64) (bool, error) {
+	if len(p) != t.cfg.Dim {
+		return false, fmt.Errorf("srtree: vector has dim %d, want %d", len(p), t.cfg.Dim)
+	}
+	found, err := t.deleteAt(t.root, p, rid)
+	if err != nil || !found {
+		return false, err
+	}
+	t.size--
+	return true, nil
+}
+
+func (t *Tree) deleteAt(id pagefile.PageID, p geom.Point, rid uint64) (bool, error) {
+	n, err := t.store.Get(id)
+	if err != nil {
+		return false, err
+	}
+	if n.leaf {
+		for i := range n.pts {
+			if n.rids[i] == rid && n.pts[i].Equal(p) {
+				last := len(n.pts) - 1
+				n.pts[i], n.rids[i] = n.pts[last], n.rids[last]
+				n.pts = n.pts[:last]
+				n.rids = n.rids[:last]
+				return true, t.store.Put(n.id, n)
+			}
+		}
+		return false, nil
+	}
+	for i := range n.ents {
+		if !n.ents[i].rect.Contains(p) {
+			continue
+		}
+		found, err := t.deleteAt(n.ents[i].child, p, rid)
+		if err != nil {
+			return false, err
+		}
+		if !found {
+			continue
+		}
+		e, err := t.entryFor(n.ents[i].child)
+		if err != nil {
+			return false, err
+		}
+		n.ents[i] = e
+		return true, t.store.Put(n.id, n)
+	}
+	return false, nil
+}
+
 type splitPair struct {
 	left, right entry
 }
@@ -216,6 +271,11 @@ func (t *Tree) entryFor(id pagefile.PageID) (entry, error) {
 		return entry{}, err
 	}
 	if n.leaf {
+		if len(n.pts) == 0 {
+			// Drained by deletes: an empty region that matches nothing.
+			return entry{child: id, centroid: make(geom.Point, t.cfg.Dim),
+				rect: geom.EmptyRect(t.cfg.Dim)}, nil
+		}
 		c := geom.Centroid(n.pts)
 		r := 0.0
 		for _, p := range n.pts {
@@ -236,12 +296,20 @@ func (t *Tree) entryFor(id pagefile.PageID) (entry, error) {
 		}
 		rect.EnlargeRect(e.rect)
 	}
+	if total == 0 {
+		// Every child drained by deletes.
+		return entry{child: id, centroid: make(geom.Point, t.cfg.Dim),
+			rect: geom.EmptyRect(t.cfg.Dim)}, nil
+	}
 	c := make(geom.Point, t.cfg.Dim)
 	for d := range c {
 		c[d] = float32(acc[d] / float64(total))
 	}
 	r := 0.0
 	for _, e := range n.ents {
+		if e.count == 0 {
+			continue // drained child; its placeholder centroid means nothing
+		}
 		if d := dist.L2().Distance(c, e.centroid) + e.radius; d > r {
 			r = d
 		}

@@ -159,6 +159,51 @@ func (t *Tree) Insert(p geom.Point, rid uint64) error {
 	return nil
 }
 
+// Delete implements index.Index by descending into every child whose MBR
+// contains the point and swap-removing the match from its leaf. MBRs are
+// left as-is — conservative but correct, the usual R-tree shortcut when
+// tightening is not worth a full condense pass.
+func (t *Tree) Delete(p geom.Point, rid uint64) (bool, error) {
+	if len(p) != t.cfg.Dim {
+		return false, fmt.Errorf("xtree: vector has dim %d, want %d", len(p), t.cfg.Dim)
+	}
+	found, err := t.deleteAt(t.root, p, rid)
+	if err != nil || !found {
+		return false, err
+	}
+	t.size--
+	return true, nil
+}
+
+func (t *Tree) deleteAt(id pagefile.PageID, p geom.Point, rid uint64) (bool, error) {
+	n, err := t.get(id)
+	if err != nil {
+		return false, err
+	}
+	if n.leaf {
+		for i := range n.pts {
+			if n.rids[i] == rid && n.pts[i].Equal(p) {
+				last := len(n.pts) - 1
+				n.pts[i], n.rids[i] = n.pts[last], n.rids[last]
+				n.pts = n.pts[:last]
+				n.rids = n.rids[:last]
+				return true, t.put(n)
+			}
+		}
+		return false, nil
+	}
+	for i := range n.ents {
+		if !n.ents[i].rect.Contains(p) {
+			continue
+		}
+		found, err := t.deleteAt(n.ents[i].child, p, rid)
+		if err != nil || found {
+			return found, err
+		}
+	}
+	return false, nil
+}
+
 type splitPair struct{ left, right entry }
 
 func (t *Tree) insertAt(id pagefile.PageID, p geom.Point, rid uint64) (*splitPair, error) {
