@@ -15,14 +15,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hybridtree/internal/bench"
+	"hybridtree/internal/core"
+	"hybridtree/internal/obs"
 )
 
 func main() {
 	var (
 		fig      = flag.String("fig", "", "figure to reproduce: 5ab, 5c, 6ab, 6cd, 7ab, 7cd")
-		table    = flag.Int("table", 0, "table to reproduce: 1 or 2")
+		table    = flag.Int("table", 0, "table to reproduce: 1 or 2 (3: per-method obs counters, not from the paper)")
 		ablation = flag.String("ablation", "", "ablation to run: pos, queryside, bulk, dp, elsmem")
 		all      = flag.Bool("all", false, "run every figure, table and ablation")
 		paper    = flag.Bool("paper", false, "use the paper's full scale (FOURIER 400K, COLHIST 70K, 100 queries)")
@@ -32,8 +35,32 @@ func main() {
 		pageSize = flag.Int("page", 0, "page size in bytes (default 4096, as in the paper)")
 		seed     = flag.Int64("seed", 0, "random seed (default 1)")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+		obsAddr  = flag.String("obs", "", "serve the introspection endpoint on this address (e.g. localhost:6060) for the duration of the run")
+		obsHold  = flag.Duration("obs-hold", 0, "keep the process (and the -obs endpoint) alive this long after the run finishes; -1s means forever")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		ring := obs.NewRing(256)
+		core.SetDefaultTracer(ring)
+		srv, addr, err := obs.Serve(*obsAddr, obs.Default(), ring)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybridbench: obs endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "hybridbench: metrics at http://%s/metrics, traces at http://%s/debug/queries\n", addr, addr)
+		if *obsHold != 0 {
+			defer func() {
+				if *obsHold < 0 {
+					fmt.Fprintf(os.Stderr, "hybridbench: holding obs endpoint open; ^C to exit\n")
+					select {}
+				}
+				fmt.Fprintf(os.Stderr, "hybridbench: holding obs endpoint open for %v\n", *obsHold)
+				time.Sleep(*obsHold)
+			}()
+		}
+	}
 
 	opts := bench.Defaults()
 	if *paper {
@@ -113,6 +140,11 @@ func main() {
 	if *all || *table == 2 {
 		t, err := bench.Table2(opts)
 		run("table2", err)
+		t.Print(os.Stdout)
+	}
+	if *all || *table == 3 {
+		t, err := bench.TableObs(opts)
+		run("table3", err)
 		t.Print(os.Stdout)
 	}
 	if *all || *ablation == "pos" {

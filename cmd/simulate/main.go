@@ -14,6 +14,8 @@ import (
 	"os"
 	"strings"
 
+	"hybridtree/internal/core"
+	"hybridtree/internal/obs"
 	"hybridtree/internal/sim"
 )
 
@@ -29,8 +31,21 @@ func main() {
 		checkEvery = flag.Int("check-every", 1000, "full differential check interval")
 		repeat     = flag.Int("repeat", 1, "runs; digests must match across all of them")
 		verbose    = flag.Bool("v", false, "per-index reports")
+		obsAddr    = flag.String("obs", "", "serve the introspection endpoint on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		ring := obs.NewRing(256)
+		core.SetDefaultTracer(ring)
+		srv, addr, err := obs.Serve(*obsAddr, obs.Default(), ring)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simulate: obs endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "simulate: metrics at http://%s/metrics, traces at http://%s/debug/queries\n", addr, addr)
+	}
 
 	profile, ok := sim.Profiles[*faults]
 	if !ok {

@@ -4,10 +4,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hybridtree/internal/core"
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
+	"hybridtree/internal/obs"
 )
 
 // ctxPool recycles query contexts across batches: each batch worker checks
@@ -25,6 +27,35 @@ func getCtx() *core.QueryContext {
 
 func putCtx(c *core.QueryContext) { ctxPool.Put(c) }
 
+// batchMetrics are the executor's shared registered instruments. Workers
+// observe into unregistered per-worker histograms (atomic adds, but with no
+// cross-core contention) and fold them into these with one Merge at worker
+// exit, so the hot loop never touches a shared cache line.
+type batchMetrics struct {
+	batches *obs.Counter
+	queries *obs.Counter
+	queryNS *obs.Histogram // per-query latency inside the worker
+	waitNS  *obs.Histogram // queue wait: batch submission -> worker dequeues the item
+}
+
+var (
+	batchMetricsOnce sync.Once
+	batchMetricsVal  *batchMetrics
+)
+
+func batchObs() *batchMetrics {
+	batchMetricsOnce.Do(func() {
+		r := obs.Default()
+		batchMetricsVal = &batchMetrics{
+			batches: r.Counter("concurrent_batches_total"),
+			queries: r.Counter("concurrent_batch_queries_total"),
+			queryNS: r.Histogram("concurrent_batch_query_ns"),
+			waitNS:  r.Histogram("concurrent_batch_queue_wait_ns"),
+		}
+	})
+	return batchMetricsVal
+}
+
 // runBatch fans n work items across a bounded pool of min(GOMAXPROCS, n)
 // workers pulling indices from a shared atomic counter. Each worker owns one
 // pooled query context for its entire slice, and each item acquires the
@@ -33,6 +64,10 @@ func putCtx(c *core.QueryContext) { ctxPool.Put(c) }
 // remaining workers (in-flight items finish); results already produced stay
 // in place and the error is returned.
 func (t *Tree) runBatch(n int, do func(c *core.QueryContext, i int) error) error {
+	m := batchObs()
+	m.batches.Inc()
+	m.queries.Add(uint64(n))
+	submitted := time.Now()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -40,10 +75,19 @@ func (t *Tree) runBatch(n int, do func(c *core.QueryContext, i int) error) error
 	if workers <= 1 {
 		c := getCtx()
 		defer putCtx(c)
+		var query, wait obs.Histogram
+		defer func() {
+			m.queryNS.Merge(&query)
+			m.waitNS.Merge(&wait)
+		}()
 		for i := 0; i < n; i++ {
+			begin := time.Now()
+			wait.Observe(int64(begin.Sub(submitted)))
 			if err := do(c, i); err != nil {
+				query.ObserveSince(begin)
 				return err
 			}
+			query.ObserveSince(begin)
 		}
 		return nil
 	}
@@ -60,12 +104,22 @@ func (t *Tree) runBatch(n int, do func(c *core.QueryContext, i int) error) error
 			defer wg.Done()
 			c := getCtx()
 			defer putCtx(c)
+			// Per-worker scratch histograms, folded into the registry once.
+			var query, wait obs.Histogram
+			defer func() {
+				m.queryNS.Merge(&query)
+				m.waitNS.Merge(&wait)
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := do(c, i); err != nil {
+				begin := time.Now()
+				wait.Observe(int64(begin.Sub(submitted)))
+				err := do(c, i)
+				query.ObserveSince(begin)
+				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 					return

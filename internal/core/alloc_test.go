@@ -7,6 +7,7 @@ import (
 
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
+	"hybridtree/internal/obs"
 )
 
 // TestSearchZeroAlloc asserts the headline property of the query context:
@@ -69,6 +70,32 @@ func TestSearchZeroAlloc(t *testing.T) {
 	})
 	i = 0
 	run("SearchRangeCtx/L2", func() error {
+		var err error
+		nbrs, err = tree.SearchRangeCtx(c, queries[i%len(queries)], 0.5, l2, nbrs[:0])
+		i++
+		return err
+	})
+
+	// The no-op tracer must keep the hot path allocation-free: StartTrace
+	// returns nil and every per-event trace call is an inlined nil check.
+	tree.SetTracer(obs.Nop())
+	defer tree.SetTracer(nil)
+	i = 0
+	run("SearchBoxCtx/NopTracer", func() error {
+		var err error
+		ents, err = tree.SearchBoxCtx(c, boxes[i%len(boxes)], ents[:0])
+		i++
+		return err
+	})
+	i = 0
+	run("SearchKNNCtx/L2/NopTracer", func() error {
+		var err error
+		nbrs, err = tree.SearchKNNCtx(c, queries[i%len(queries)], 10, l2, nbrs[:0])
+		i++
+		return err
+	})
+	i = 0
+	run("SearchRangeCtx/L2/NopTracer", func() error {
 		var err error
 		nbrs, err = tree.SearchRangeCtx(c, queries[i%len(queries)], 0.5, l2, nbrs[:0])
 		i++

@@ -32,6 +32,8 @@ type TreeStats struct {
 func (t *Tree) Stats() (TreeStats, error) {
 	saved := *t.file.Stats()
 	defer func() { *t.file.Stats() = saved }()
+	savedObs := t.store.pauseObs()
+	defer t.store.resumeObs(savedObs)
 
 	st := TreeStats{Height: t.height, ELSBytes: t.els.MemoryBytes(), MinDataFill: 1}
 	dimsUsed := make(map[uint16]bool)
@@ -124,6 +126,8 @@ func (t *Tree) Stats() (TreeStats, error) {
 func (t *Tree) CheckInvariants() error {
 	saved := *t.file.Stats()
 	defer func() { *t.file.Stats() = saved }()
+	savedObs := t.store.pauseObs()
+	defer t.store.resumeObs(savedObs)
 
 	entries := 0
 	var walk func(id pagefile.PageID, br geom.Rect, level int) (geom.Rect, error)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hybridtree/internal/geom"
+	"hybridtree/internal/obs"
 )
 
 // Explanation describes how a box query traversed the tree: per level, how
@@ -13,11 +14,19 @@ import (
 // (the second step of the paper's two-step overlap check), or descended
 // into. It makes the ELS and split-quality effects measured in Figures 5
 // and 6 inspectable for a single query.
+//
+// The per-level table is an aggregation of the query's span tree, which
+// Trace exposes in full: the same obs.Trace the Tracer interface produces,
+// with one span per visited node. Trace.String() is the per-node human
+// renderer and json.Marshal(Trace) the machine one; Explanation.String()
+// stays the per-level summary.
 type Explanation struct {
 	// Levels[0] is the root level; the last entry is the data level.
 	Levels []LevelStats
 	// Results is the number of matching entries.
 	Results int
+	// Trace is the query's full span tree.
+	Trace *obs.Trace
 }
 
 // LevelStats aggregates one tree level of an explained query.
@@ -42,7 +51,9 @@ func (e *Explanation) String() string {
 }
 
 // ExplainBox runs a box query and returns both its results and the
-// traversal explanation.
+// traversal explanation. It is the ordinary box-query loop run with a
+// locally-owned trace — the one traversal has one instrumentation
+// mechanism, whether the consumer is a Tracer sink or this aggregation.
 func (t *Tree) ExplainBox(q geom.Rect) ([]Entry, *Explanation, error) {
 	if q.Dim() != t.cfg.Dim {
 		return nil, nil, fmt.Errorf("core: query has dim %d, tree expects %d", q.Dim(), t.cfg.Dim)
@@ -53,97 +64,37 @@ func (t *Tree) ExplainBox(q geom.Rect) ([]Entry, *Explanation, error) {
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
 
-	ex := &Explanation{Levels: make([]LevelStats, t.height)}
-	var out []Entry
-	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space)})
-	for len(pending) > 0 {
-		v := pending[len(pending)-1]
-		pending = pending[:len(pending)-1]
-		qc.arena.copyOut(v.slot, qc.walk)
-		qc.arena.release(v.slot)
-		n, err := t.store.get(v.child)
-		if err != nil {
-			qc.pending = pending[:0]
-			ex.Results = len(out)
-			return out, ex, err
-		}
-		for int(v.level) >= len(ex.Levels) {
+	qc.tally = tally{}
+	tr := obs.NewTrace("box")
+	qc.tr = tr
+	out, err := t.runBox(qc, q, nil)
+	t.finishQuery(qc, opBox, tr.Start, len(out), err)
+
+	ex := explanationFromTrace(tr, t.height)
+	ex.Results = len(out)
+	return out, ex, err
+}
+
+// explanationFromTrace collapses a span tree into per-level totals. Kd and
+// live-space prunes and descents are charged to the level of the node where
+// the decision happened (matching the span's own counters); entry hits are
+// charged to leaf spans, which sit on the data level.
+func explanationFromTrace(tr *obs.Trace, height int) *Explanation {
+	ex := &Explanation{Levels: make([]LevelStats, height), Trace: tr}
+	for i := range tr.Spans {
+		s := &tr.Spans[i]
+		for int(s.Level) >= len(ex.Levels) {
 			// Defensive: stale height after concurrent-looking misuse; grow.
 			ex.Levels = append(ex.Levels, LevelStats{})
 		}
-		ls := &ex.Levels[v.level]
+		ls := &ex.Levels[s.Level]
 		ls.NodesRead++
-		if n.leaf {
-			for i, p := range n.pts {
-				if q.Contains(p) {
-					ls.EntriesHit++
-					out = append(out, Entry{Point: p, RID: n.rids[i]})
-				}
-			}
-			continue
-		}
-		if n.kdRoot == kdNone {
-			continue
-		}
-		mark := len(pending)
-		pending = t.kdWalkExplain(qc, n, q, ls, v.level+1, pending)
-		reverseVisits(pending[mark:])
-	}
-	qc.pending = pending[:0]
-	ex.Results = len(out)
-	return out, ex, nil
-}
-
-// kdWalkExplain is kdWalkBox with per-disposition accounting: kd prunes,
-// live-space prunes, and descents are charged to the current node's level.
-func (t *Tree) kdWalkExplain(qc *queryCtx, n *node, q geom.Rect, ls *LevelStats, childLevel int32, pending []visitRef) []visitRef {
-	br := qc.walk
-	st := append(qc.frames, kdFrame{idx: n.kdRoot})
-	for len(st) > 0 {
-		f := &st[len(st)-1]
-		k := &n.kd[f.idx]
-		switch f.stage {
-		case 0:
-			if k.isLeaf() {
-				st = st[:len(st)-1]
-				live, ok := t.els.Get(uint32(k.Child), t.cfg.Space)
-				if ok && !live.Intersects(q) {
-					ls.ELSPruned++
-					continue
-				}
-				ls.Descended++
-				pending = append(pending, visitRef{child: k.Child, slot: qc.arena.put(br), level: childLevel})
-				continue
-			}
-			d := int(k.Dim)
-			f.saved = br.Hi[d]
-			f.stage = 1
-			if k.Lsp < br.Hi[d] {
-				br.Hi[d] = k.Lsp
-			}
-			if q.Lo[d] <= br.Hi[d] && br.Hi[d] >= br.Lo[d] {
-				st = append(st, kdFrame{idx: k.Left})
-			} else {
-				ls.KDPruned++
-			}
-		case 1:
-			d := int(k.Dim)
-			br.Hi[d] = f.saved
-			f.saved = br.Lo[d]
-			f.stage = 2
-			if k.Rsp > br.Lo[d] {
-				br.Lo[d] = k.Rsp
-			}
-			if q.Hi[d] >= br.Lo[d] && br.Hi[d] >= br.Lo[d] {
-				st = append(st, kdFrame{idx: k.Right})
-			} else {
-				ls.KDPruned++
-			}
-		default:
-			br.Lo[int(k.Dim)] = f.saved
-			st = st[:len(st)-1]
+		ls.KDPruned += int(s.KDPruned)
+		ls.ELSPruned += int(s.ELSPruned)
+		ls.Descended += int(s.Descents)
+		if s.Leaf {
+			ls.EntriesHit += int(s.Hits)
 		}
 	}
-	qc.frames = st[:0]
-	return pending
+	return ex
 }

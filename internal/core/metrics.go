@@ -1,0 +1,278 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridtree/internal/obs"
+)
+
+// Query-operation indices for the per-op metric arrays.
+const (
+	opBox = iota
+	opRange
+	opKNN
+	numOps
+)
+
+var opNames = [numOps]string{"box", "range", "knn"}
+
+// treeMetrics is the hybrid tree's bundle of pre-resolved instruments. One
+// process-wide bundle is shared by every Tree (the metric names are fixed),
+// so resolving it costs one sync.Once and the hot path only pays atomic
+// adds. Per-query traversal counts are accumulated as plain ints in the
+// query context (tally) and flushed here once per query, keeping atomic
+// operations out of the innermost kd-walk loops.
+type treeMetrics struct {
+	queries    [numOps]*obs.Counter
+	latency    [numOps]*obs.Histogram
+	queryErrs  *obs.Counter
+	results    *obs.Counter
+	kdPrunes   *obs.Counter
+	elsHits    *obs.Counter
+	elsPrunes  *obs.Counter
+	distPrunes *obs.Counter
+	descents   *obs.Counter
+	heapPushes *obs.Counter
+	scanned    *obs.Counter
+
+	inserts     *obs.Counter
+	deletes     *obs.Counter
+	insertNs    *obs.Histogram
+	deleteNs    *obs.Histogram
+	splitsData  *obs.Counter
+	splitsIndex *obs.Counter
+	reinserts   *obs.Counter
+	rollbacks   *obs.Counter
+	leakedPages *obs.Gauge
+
+	// unifiedPrunes mirrors the sum of kd/ELS/dist prunes into the
+	// cross-method index_prunes_total{method="hybrid"} counter so the
+	// per-method comparison table sees the hybrid too.
+	unifiedPrunes *obs.Counter
+}
+
+var (
+	hybridMetricsOnce sync.Once
+	hybridMetricsVal  *treeMetrics
+)
+
+// hybridMetrics resolves the shared instrument bundle from the default
+// registry.
+func hybridMetrics() *treeMetrics {
+	hybridMetricsOnce.Do(func() {
+		r := obs.Default()
+		m := &treeMetrics{
+			queryErrs:   r.Counter("core_query_errors_total"),
+			results:     r.Counter("core_results_total"),
+			kdPrunes:    r.Counter("core_kd_prunes_total"),
+			elsHits:     r.Counter("core_els_decode_hits_total"),
+			elsPrunes:   r.Counter("core_els_prunes_total"),
+			distPrunes:  r.Counter("core_dist_prunes_total"),
+			descents:    r.Counter("core_descents_total"),
+			heapPushes:  r.Counter("core_heap_pushes_total"),
+			scanned:     r.Counter("core_leaf_entries_scanned_total"),
+			inserts:     r.Counter("core_inserts_total"),
+			deletes:     r.Counter("core_deletes_total"),
+			insertNs:    r.Histogram(`core_mutation_ns{op="insert"}`),
+			deleteNs:    r.Histogram(`core_mutation_ns{op="delete"}`),
+			splitsData:  r.Counter(`core_splits_total{kind="data"}`),
+			splitsIndex: r.Counter(`core_splits_total{kind="index"}`),
+			reinserts:   r.Counter("core_reinserts_total"),
+			rollbacks:   r.Counter("core_rollbacks_total"),
+			leakedPages: r.Gauge("core_leaked_pages"),
+
+			unifiedPrunes: obs.PruneCounter(r, "hybrid"),
+		}
+		for op := 0; op < numOps; op++ {
+			m.queries[op] = r.Counter(`core_queries_total{op="` + opNames[op] + `"}`)
+			m.latency[op] = r.Histogram(`core_query_ns{op="` + opNames[op] + `"}`)
+		}
+		hybridMetricsVal = m
+	})
+	return hybridMetricsVal
+}
+
+// defaultTracer is the tracer new trees adopt, set by binaries (the -obs
+// flag) before building their trees; SetTracer overrides it per tree.
+var defaultTracer atomic.Value // of tracerBox
+
+type tracerBox struct{ tr obs.Tracer }
+
+// SetDefaultTracer installs the tracer that trees created from now on
+// start with. Pass nil to disable tracing for new trees.
+func SetDefaultTracer(tr obs.Tracer) { defaultTracer.Store(tracerBox{tr: tr}) }
+
+func loadDefaultTracer() obs.Tracer {
+	if v := defaultTracer.Load(); v != nil {
+		return v.(tracerBox).tr
+	}
+	return nil
+}
+
+// SetTracer sets this tree's query/mutation tracer (nil disables tracing).
+// Set it before the tree is shared between goroutines: searches read the
+// tracer without synchronization.
+func (t *Tree) SetTracer(tr obs.Tracer) { t.tracer = tr }
+
+// SetMetricsEnabled attaches or detaches the tree's obs instruments
+// (attached by default). Like SetTracer, flip it only while the tree is
+// otherwise idle.
+func (t *Tree) SetMetricsEnabled(on bool) {
+	if on {
+		t.metrics = hybridMetrics()
+		t.store.setObs(storeObsFor("hybrid"))
+	} else {
+		t.metrics = nil
+		t.store.setObs(nil)
+	}
+}
+
+// tally accumulates one query's traversal counts as plain ints; it is
+// flushed to the shared atomic counters once, at query end.
+type tally struct {
+	kdPrunes   int
+	elsHits    int
+	elsPrunes  int
+	distPrunes int
+	descents   int
+	heapPushes int
+	scanned    int
+}
+
+// beginQuery starts instrumentation for one search: it clears the tally,
+// asks the tracer for a trace (nil when tracing is off or declined) and
+// stamps the start time. A zero start time means neither metrics nor
+// tracing are active and finishQuery will return immediately.
+func (t *Tree) beginQuery(qc *queryCtx, op int) (tr *obs.Trace, start time.Time) {
+	qc.tally = tally{}
+	if t.tracer != nil {
+		tr = t.tracer.StartTrace(opNames[op])
+	}
+	qc.tr = tr
+	if t.metrics != nil || tr != nil {
+		start = time.Now()
+	}
+	return tr, start
+}
+
+// finishQuery flushes the query's tally into the shared counters, observes
+// its latency and finishes its trace. results is the number of entries this
+// query contributed; err is its outcome.
+func (t *Tree) finishQuery(qc *queryCtx, op int, start time.Time, results int, err error) {
+	if start.IsZero() {
+		return
+	}
+	if m := t.metrics; m != nil {
+		m.queries[op].Inc()
+		m.latency[op].Observe(int64(time.Since(start)))
+		ta := &qc.tally
+		if ta.kdPrunes > 0 {
+			m.kdPrunes.Add(uint64(ta.kdPrunes))
+		}
+		if ta.elsHits > 0 {
+			m.elsHits.Add(uint64(ta.elsHits))
+		}
+		if ta.elsPrunes > 0 {
+			m.elsPrunes.Add(uint64(ta.elsPrunes))
+		}
+		if ta.distPrunes > 0 {
+			m.distPrunes.Add(uint64(ta.distPrunes))
+		}
+		if p := ta.kdPrunes + ta.elsPrunes + ta.distPrunes; p > 0 {
+			m.unifiedPrunes.Add(uint64(p))
+		}
+		if ta.descents > 0 {
+			m.descents.Add(uint64(ta.descents))
+		}
+		if ta.heapPushes > 0 {
+			m.heapPushes.Add(uint64(ta.heapPushes))
+		}
+		if ta.scanned > 0 {
+			m.scanned.Add(uint64(ta.scanned))
+		}
+		if results > 0 {
+			m.results.Add(uint64(results))
+		}
+		if err != nil {
+			m.queryErrs.Inc()
+		}
+	}
+	if tr := qc.tr; tr != nil {
+		tr.SetResults(results)
+		tr.SetError(err)
+		tr.FinishSince(start)
+		qc.tr = nil
+	}
+}
+
+// Mutation-operation indices.
+const (
+	mutInsert = iota
+	mutDelete
+)
+
+// beginTreeMutation starts instrumentation for a top-level mutation.
+// Nested mutations (Delete's orphan reinsertions calling Insert) pass a
+// nested scope and get no separate trace or latency sample; their node
+// effects still land in the outer mutation's counters.
+func (t *Tree) beginTreeMutation(m mutationScope, op int) (tr *obs.Trace, start time.Time) {
+	if m.nested {
+		return nil, time.Time{}
+	}
+	if t.tracer != nil {
+		if op == mutInsert {
+			tr = t.tracer.StartTrace("insert")
+		} else {
+			tr = t.tracer.StartTrace("delete")
+		}
+	}
+	t.mutTrace = tr
+	if t.metrics != nil || tr != nil {
+		start = time.Now()
+	}
+	return tr, start
+}
+
+// finishTreeMutation records a top-level mutation's outcome. A zero start
+// means the call closes a nested (or uninstrumented) scope: return without
+// touching t.mutTrace, which still belongs to the outer mutation.
+func (t *Tree) finishTreeMutation(op int, tr *obs.Trace, start time.Time, err error) {
+	if start.IsZero() {
+		return
+	}
+	t.mutTrace = nil
+	if m := t.metrics; m != nil {
+		if op == mutInsert {
+			m.inserts.Inc()
+			m.insertNs.Observe(int64(time.Since(start)))
+		} else {
+			m.deletes.Inc()
+			m.deleteNs.Observe(int64(time.Since(start)))
+		}
+		if err != nil {
+			m.rollbacks.Inc()
+		}
+	}
+	if tr != nil {
+		if err != nil {
+			tr.MarkRolledBack()
+		}
+		tr.SetError(err)
+		tr.FinishSince(start)
+	}
+}
+
+// countSplit records one node split in both the shared counters and the
+// current mutation's trace.
+func (t *Tree) countSplit(leaf bool) {
+	if m := t.metrics; m != nil {
+		if leaf {
+			m.splitsData.Inc()
+		} else {
+			m.splitsIndex.Inc()
+		}
+	}
+	t.mutTrace.CountSplit()
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"hybridtree/internal/geom"
+	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 	"hybridtree/internal/pqueue"
 )
@@ -35,11 +36,13 @@ func (t *Tree) getCtx() *QueryContext {
 func (t *Tree) putCtx(c *QueryContext) { t.qcPool.Put(c) }
 
 // visitRef is one pending subtree visit: a child page plus the arena slot
-// holding its mapped bounding region. level is used only by ExplainBox.
+// holding its mapped bounding region. span is the trace-span index of the
+// node that enqueued the visit (-1 at the root, and ignored entirely when
+// the query is untraced).
 type visitRef struct {
 	child pagefile.PageID
 	slot  int32
-	level int32
+	span  int32
 }
 
 // kdFrame is one suspended position of the iterative intra-node kd walk.
@@ -69,6 +72,12 @@ type queryCtx struct {
 	walk    geom.Rect
 	scratch geom.Rect
 	coords  []float32
+
+	// tally accumulates this query's traversal counts as plain ints
+	// (flushed to shared atomic counters once per query); tr is the
+	// query's trace, nil when tracing is off. See metrics.go.
+	tally tally
+	tr    *obs.Trace
 }
 
 // acquire readies the context for one query of the given dimensionality.

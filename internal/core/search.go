@@ -30,6 +30,13 @@ type Neighbor struct {
 // recursive implementation: a node's surviving kd-leaves are pushed in
 // reverse kd order so the stack pops them in kd order, exactly the
 // depth-first sequence recursion produced.
+//
+// Instrumentation rides the same loops: traversal counts accumulate as
+// plain ints in the context's tally (flushed to shared atomic counters once
+// per query), and when a trace is active every visited node gets a span,
+// with kd decisions and prune verdicts charged to the span of the node
+// where they happened. With tracing off qc.tr is nil and every tr.* call is
+// an inlined nil check, which is what keeps TestSearchZeroAlloc at zero.
 
 // SearchBox returns every entry whose vector lies inside q (boundaries
 // inclusive) — the feature-based bounding-box query of Section 3.5, and the
@@ -51,21 +58,35 @@ func (t *Tree) SearchBoxCtx(c *QueryContext, q geom.Rect, dst []Entry) ([]Entry,
 	qc := &c.qc
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
+	_, start := t.beginQuery(qc, opBox)
+	base := len(dst)
+	dst, err := t.runBox(qc, q, dst)
+	t.finishQuery(qc, opBox, start, len(dst)-base, err)
+	return dst, err
+}
 
-	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space)})
+// runBox is the box query's traversal loop, shared by SearchBoxCtx and
+// ExplainBox (which supplies its own trace via qc.tr).
+func (t *Tree) runBox(qc *queryCtx, q geom.Rect, dst []Entry) ([]Entry, error) {
+	tr := qc.tr
+	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space), span: -1})
 	for len(pending) > 0 {
 		v := pending[len(pending)-1]
 		pending = pending[:len(pending)-1]
 		qc.arena.copyOut(v.slot, qc.walk)
 		qc.arena.release(v.slot)
-		n, err := t.store.get(v.child)
+		n, hit, err := t.store.getq(v.child)
 		if err != nil {
 			qc.pending = pending[:0]
 			return dst, err
 		}
+		span := tr.Visit(v.span, uint32(v.child), n.leaf, hit)
 		if n.leaf {
+			qc.tally.scanned += len(n.pts)
+			tr.Scan(span, len(n.pts))
 			for i, p := range n.pts {
 				if q.Contains(p) {
+					tr.Hit(span)
 					dst = append(dst, Entry{Point: p, RID: n.rids[i]})
 				}
 			}
@@ -75,7 +96,7 @@ func (t *Tree) SearchBoxCtx(c *QueryContext, q geom.Rect, dst []Entry) ([]Entry,
 			continue
 		}
 		mark := len(pending)
-		pending = t.kdWalkBox(qc, n, q, pending)
+		pending = t.kdWalkBox(qc, n, q, span, pending)
 		reverseVisits(pending[mark:])
 	}
 	qc.pending = pending[:0]
@@ -87,9 +108,10 @@ func (t *Tree) SearchBoxCtx(c *QueryContext, q geom.Rect, dst []Entry) ([]Entry,
 // that boundary — the "a boundary is checked only once" property of Section
 // 3.1) and appending one visit per surviving kd-leaf, in kd order. Leaves
 // pass the second step of the paper's two-step overlap check (the encoded
-// live space) before being kept.
-func (t *Tree) kdWalkBox(qc *queryCtx, n *node, q geom.Rect, pending []visitRef) []visitRef {
+// live space) before being kept. span is the current node's trace span.
+func (t *Tree) kdWalkBox(qc *queryCtx, n *node, q geom.Rect, span int32, pending []visitRef) []visitRef {
 	br := qc.walk
+	tr := qc.tr
 	kd, els, space := n.kd, t.els, t.cfg.Space
 	st := append(qc.frames, kdFrame{idx: n.kdRoot})
 	for len(st) > 0 {
@@ -100,10 +122,18 @@ func (t *Tree) kdWalkBox(qc *queryCtx, n *node, q geom.Rect, pending []visitRef)
 			if k.isLeaf() {
 				st = st[:len(st)-1]
 				live, ok := els.Get(uint32(k.Child), space)
-				if ok && !live.Intersects(q) {
-					continue
+				if ok {
+					qc.tally.elsHits++
+					tr.ELSHit(span)
+					if !live.Intersects(q) {
+						qc.tally.elsPrunes++
+						tr.ELSPrune(span)
+						continue
+					}
 				}
-				pending = append(pending, visitRef{child: k.Child, slot: qc.arena.put(br)})
+				qc.tally.descents++
+				tr.Descend(span)
+				pending = append(pending, visitRef{child: k.Child, slot: qc.arena.put(br), span: span})
 				continue
 			}
 			d := int(k.Dim)
@@ -113,7 +143,11 @@ func (t *Tree) kdWalkBox(qc *queryCtx, n *node, q geom.Rect, pending []visitRef)
 				br.Hi[d] = k.Lsp
 			}
 			if q.Lo[d] <= br.Hi[d] && br.Hi[d] >= br.Lo[d] {
+				tr.KDLeft(span)
 				st = append(st, kdFrame{idx: k.Left})
+			} else {
+				qc.tally.kdPrunes++
+				tr.KDPrune(span)
 			}
 		case 1:
 			d := int(k.Dim)
@@ -124,7 +158,11 @@ func (t *Tree) kdWalkBox(qc *queryCtx, n *node, q geom.Rect, pending []visitRef)
 				br.Lo[d] = k.Rsp
 			}
 			if q.Hi[d] >= br.Lo[d] && br.Hi[d] >= br.Lo[d] {
+				tr.KDRight(span)
 				st = append(st, kdFrame{idx: k.Right})
+			} else {
+				qc.tally.kdPrunes++
+				tr.KDPrune(span)
 			}
 		default:
 			br.Lo[int(k.Dim)] = f.saved
@@ -172,6 +210,8 @@ func (t *Tree) SearchRangeCtx(c *QueryContext, q geom.Point, radius float64, m d
 	qc := &c.qc
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
+	tr, start := t.beginQuery(qc, opRange)
+	base := len(dst)
 
 	sqm, useSq := dist.AsSquared(m)
 	bound := radius
@@ -179,27 +219,33 @@ func (t *Tree) SearchRangeCtx(c *QueryContext, q geom.Point, radius float64, m d
 		bound = radius * radius
 	}
 
-	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space)})
+	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space), span: -1})
 	for len(pending) > 0 {
 		v := pending[len(pending)-1]
 		pending = pending[:len(pending)-1]
 		qc.arena.copyOut(v.slot, qc.walk)
 		qc.arena.release(v.slot)
-		n, err := t.store.get(v.child)
+		n, hit, err := t.store.getq(v.child)
 		if err != nil {
 			qc.pending = pending[:0]
+			t.finishQuery(qc, opRange, start, len(dst)-base, err)
 			return dst, err
 		}
+		span := tr.Visit(v.span, uint32(v.child), n.leaf, hit)
 		if n.leaf {
+			qc.tally.scanned += len(n.pts)
+			tr.Scan(span, len(n.pts))
 			if useSq {
 				for i, p := range n.pts {
 					if d2 := sqm.DistanceSqBounded(q, p, bound); d2 <= bound {
+						tr.Hit(span)
 						dst = append(dst, Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: math.Sqrt(d2)})
 					}
 				}
 			} else {
 				for i, p := range n.pts {
 					if d := m.Distance(q, p); d <= radius {
+						tr.Hit(span)
 						dst = append(dst, Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d})
 					}
 				}
@@ -210,10 +256,11 @@ func (t *Tree) SearchRangeCtx(c *QueryContext, q geom.Point, radius float64, m d
 			continue
 		}
 		mark := len(pending)
-		pending = t.kdWalkDist(qc, n, q, m, sqm, useSq, bound, pending)
+		pending = t.kdWalkDist(qc, n, q, m, sqm, useSq, bound, span, pending)
 		reverseVisits(pending[mark:])
 	}
 	qc.pending = pending[:0]
+	t.finishQuery(qc, opRange, start, len(dst)-base, nil)
 	return dst, nil
 }
 
@@ -222,8 +269,9 @@ func (t *Tree) SearchRangeCtx(c *QueryContext, q geom.Point, radius float64, m d
 // strictly tighter bound than the max of the two separate MINDISTs) lies
 // within bound of q. bound and the MINDIST computation are in squared space
 // when useSq is set.
-func (t *Tree) kdWalkDist(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sqm dist.SquaredMetric, useSq bool, bound float64, pending []visitRef) []visitRef {
+func (t *Tree) kdWalkDist(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sqm dist.SquaredMetric, useSq bool, bound float64, span int32, pending []visitRef) []visitRef {
 	br := qc.walk
+	tr := qc.tr
 	kd, els, space := n.kd, t.els, t.cfg.Space
 	st := append(qc.frames, kdFrame{idx: n.kdRoot})
 	for len(st) > 0 {
@@ -235,7 +283,11 @@ func (t *Tree) kdWalkDist(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sq
 				st = st[:len(st)-1]
 				lb := 0.0
 				if live, ok := els.Get(uint32(k.Child), space); ok {
+					qc.tally.elsHits++
+					tr.ELSHit(span)
 					if !intersectInto(&qc.scratch, br, live) {
+						qc.tally.elsPrunes++
+						tr.ELSPrune(span)
 						continue
 					}
 					if useSq {
@@ -249,7 +301,12 @@ func (t *Tree) kdWalkDist(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sq
 					lb = m.MinDistRect(q, br)
 				}
 				if lb <= bound {
-					pending = append(pending, visitRef{child: k.Child, slot: qc.arena.put(br)})
+					qc.tally.descents++
+					tr.Descend(span)
+					pending = append(pending, visitRef{child: k.Child, slot: qc.arena.put(br), span: span})
+				} else {
+					qc.tally.distPrunes++
+					tr.DistPrune(span)
 				}
 				continue
 			}
@@ -260,7 +317,11 @@ func (t *Tree) kdWalkDist(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sq
 				br.Hi[d] = k.Lsp
 			}
 			if br.Hi[d] >= br.Lo[d] {
+				tr.KDLeft(span)
 				st = append(st, kdFrame{idx: k.Left})
+			} else {
+				qc.tally.kdPrunes++
+				tr.KDPrune(span)
 			}
 		case 1:
 			d := int(k.Dim)
@@ -271,7 +332,11 @@ func (t *Tree) kdWalkDist(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sq
 				br.Lo[d] = k.Rsp
 			}
 			if br.Hi[d] >= br.Lo[d] {
+				tr.KDRight(span)
 				st = append(st, kdFrame{idx: k.Right})
+			} else {
+				qc.tally.kdPrunes++
+				tr.KDPrune(span)
 			}
 		default:
 			br.Lo[int(k.Dim)] = f.saved
@@ -316,6 +381,8 @@ func (t *Tree) searchKNN(c *QueryContext, q geom.Point, k int, m dist.Metric, ep
 	qc := &c.qc
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
+	tr, start := t.beginQuery(qc, opKNN)
+	base := len(dst)
 
 	sqm, useSq := dist.AsSquared(m)
 	// shrink scales the pruning bound for approximate search; for squared
@@ -328,7 +395,7 @@ func (t *Tree) searchKNN(c *QueryContext, q geom.Point, k int, m dist.Metric, ep
 
 	pq := &qc.pq
 	best := qc.kbest(k)
-	pq.Push(visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space)}, 0)
+	pq.Push(visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space), span: -1}, 0)
 	for pq.Len() > 0 {
 		v, mindist := pq.Pop()
 		if best.Full() && mindist > best.Bound()*shrink {
@@ -336,11 +403,15 @@ func (t *Tree) searchKNN(c *QueryContext, q geom.Point, k int, m dist.Metric, ep
 		}
 		qc.arena.copyOut(v.slot, qc.walk)
 		qc.arena.release(v.slot)
-		n, err := t.store.get(v.child)
+		n, hit, err := t.store.getq(v.child)
 		if err != nil {
+			t.finishQuery(qc, opKNN, start, 0, err)
 			return dst, err
 		}
+		span := tr.Visit(v.span, uint32(v.child), n.leaf, hit)
 		if n.leaf {
+			qc.tally.scanned += len(n.pts)
+			tr.Scan(span, len(n.pts))
 			if useSq {
 				bound := math.Inf(1)
 				if best.Full() {
@@ -351,7 +422,9 @@ func (t *Tree) searchKNN(c *QueryContext, q geom.Point, k int, m dist.Metric, ep
 					if d2 > bound {
 						continue // abandoned or beaten; Offer would reject it
 					}
-					best.Offer(Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d2}, d2)
+					if best.Offer(Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d2}, d2) {
+						tr.Hit(span)
+					}
 					if best.Full() {
 						bound = best.Bound()
 					}
@@ -359,33 +432,37 @@ func (t *Tree) searchKNN(c *QueryContext, q geom.Point, k int, m dist.Metric, ep
 			} else {
 				for i, p := range n.pts {
 					d := m.Distance(q, p)
-					best.Offer(Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d}, d)
+					if best.Offer(Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d}, d) {
+						tr.Hit(span)
+					}
 				}
 			}
 			continue
 		}
 		if n.kdRoot != kdNone {
-			t.kdWalkKNN(qc, n, q, m, sqm, useSq, best, shrink)
+			t.kdWalkKNN(qc, n, q, m, sqm, useSq, best, shrink, span)
 		}
 	}
 	if dst == nil {
 		dst = make([]Neighbor, 0, best.Len())
 	}
-	base := len(dst)
+	base = len(dst)
 	dst = best.AppendSorted(dst)
 	if useSq {
 		for i := base; i < len(dst); i++ {
 			dst[i].Dist = math.Sqrt(dst[i].Dist)
 		}
 	}
+	t.finishQuery(qc, opKNN, start, len(dst)-base, nil)
 	return dst, nil
 }
 
 // kdWalkKNN is the k-NN intra-node kd walk: each surviving kd-leaf joins
 // the best-first frontier with its (live-space-tightened) MINDIST as
 // priority, unless the current k-th best already rules it out.
-func (t *Tree) kdWalkKNN(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sqm dist.SquaredMetric, useSq bool, best *pqueue.KBest[Neighbor], shrink float64) {
+func (t *Tree) kdWalkKNN(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sqm dist.SquaredMetric, useSq bool, best *pqueue.KBest[Neighbor], shrink float64, span int32) {
 	br := qc.walk
+	tr := qc.tr
 	kd, els, space := n.kd, t.els, t.cfg.Space
 	st := append(qc.frames, kdFrame{idx: n.kdRoot})
 	for len(st) > 0 {
@@ -397,7 +474,11 @@ func (t *Tree) kdWalkKNN(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sqm
 				st = st[:len(st)-1]
 				var md float64
 				if live, ok := els.Get(uint32(k.Child), space); ok {
+					qc.tally.elsHits++
+					tr.ELSHit(span)
 					if !intersectInto(&qc.scratch, br, live) {
+						qc.tally.elsPrunes++
+						tr.ELSPrune(span)
 						continue
 					}
 					if useSq {
@@ -411,7 +492,12 @@ func (t *Tree) kdWalkKNN(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sqm
 					md = m.MinDistRect(q, br)
 				}
 				if !best.Full() || md <= best.Bound()*shrink {
-					qc.pq.Push(visitRef{child: k.Child, slot: qc.arena.put(br)}, md)
+					qc.tally.heapPushes++
+					tr.Descend(span)
+					qc.pq.Push(visitRef{child: k.Child, slot: qc.arena.put(br), span: span}, md)
+				} else {
+					qc.tally.distPrunes++
+					tr.DistPrune(span)
 				}
 				continue
 			}
@@ -422,7 +508,11 @@ func (t *Tree) kdWalkKNN(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sqm
 				br.Hi[d] = k.Lsp
 			}
 			if br.Hi[d] >= br.Lo[d] {
+				tr.KDLeft(span)
 				st = append(st, kdFrame{idx: k.Left})
+			} else {
+				qc.tally.kdPrunes++
+				tr.KDPrune(span)
 			}
 		case 1:
 			d := int(k.Dim)
@@ -433,7 +523,11 @@ func (t *Tree) kdWalkKNN(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sqm
 				br.Lo[d] = k.Rsp
 			}
 			if br.Hi[d] >= br.Lo[d] {
+				tr.KDRight(span)
 				st = append(st, kdFrame{idx: k.Right})
+			} else {
+				qc.tally.kdPrunes++
+				tr.KDPrune(span)
 			}
 		default:
 			br.Lo[int(k.Dim)] = f.saved

@@ -184,6 +184,7 @@ func (EDAMedianPolicy) ChooseIndexDim(cands []IndexSplitCandidate, cfg *Config) 
 // (lsp == rsp): overlap is eliminated entirely at the data level
 // (Section 3.6 point 3). The left half reuses n's page.
 func (t *Tree) splitDataNode(n *node) (splitResult, error) {
+	t.countSplit(true)
 	br := n.dataRect()
 	dim, pos := t.cfg.Policy.ChooseDataSplit(n.pts, br)
 
@@ -248,6 +249,7 @@ func (t *Tree) splitDataNode(n *node) (splitResult, error) {
 // still contains the EDA-optimal choice, and it guarantees that dimensions
 // no data-node split ever discriminated on are never used higher up.
 func (t *Tree) splitIndexNode(n *node, nodeBR geom.Rect) (splitResult, error) {
+	t.countSplit(false)
 	entries := n.children(nodeBR)
 	minEach := int(math.Ceil(t.cfg.MinFillIndex * float64(len(entries))))
 	if minEach < 1 {

@@ -3,8 +3,10 @@ package core
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hybridtree/internal/geom"
+	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 )
 
@@ -35,7 +37,35 @@ type store struct {
 	shards [cacheShards]cacheShard
 	bufs   sync.Pool // *[]byte scratch pages, one File.PageSize each
 	undo   undoLog
+	// obs holds the shared node-read/cache-hit counters; nil disables obs
+	// accounting (and audits pause it so structural walks don't pollute the
+	// operational telemetry, mirroring their pagefile.Stats save/restore).
+	obs atomic.Pointer[storeObs]
 }
+
+// storeObs is the store's bundle of shared obs counters. Every access
+// method resolves the same counter names via obs.IndexCounters, so
+// cross-method comparisons read one code path's numbers.
+type storeObs struct {
+	reads, hits, misses *obs.Counter
+}
+
+func storeObsFor(method string) *storeObs {
+	reads, hits, misses := obs.IndexCounters(obs.Default(), method)
+	return &storeObs{reads: reads, hits: hits, misses: misses}
+}
+
+func (s *store) setObs(o *storeObs) { s.obs.Store(o) }
+
+// pauseObs detaches the obs counters and returns the previous attachment
+// for resumeObs, so audit walks don't inflate read accounting.
+func (s *store) pauseObs() *storeObs {
+	o := s.obs.Load()
+	s.obs.Store(nil)
+	return o
+}
+
+func (s *store) resumeObs(o *storeObs) { s.obs.Store(o) }
 
 // nodeSnap is a first-touch pre-image of a node, captured while a
 // mutation's undo log is active. Points are never element-mutated by the
@@ -176,6 +206,7 @@ func (s *store) endUndo() {
 
 func newStore(file pagefile.File, dim int) *store {
 	s := &store{file: file, dim: dim}
+	s.obs.Store(storeObsFor("hybrid"))
 	for i := range s.shards {
 		s.shards[i].m = make(map[pagefile.PageID]*node)
 	}
@@ -194,24 +225,38 @@ func (s *store) shard(id pagefile.PageID) *cacheShard {
 // get returns the decoded node for id, counting one logical random read.
 // Safe for concurrent callers.
 func (s *store) get(id pagefile.PageID) (*node, error) {
+	n, _, err := s.getq(id)
+	return n, err
+}
+
+// getq is get plus a cache-hit report, for the traced query path.
+func (s *store) getq(id pagefile.PageID) (*node, bool, error) {
 	sh := s.shard(id)
 	sh.mu.RLock()
 	n, ok := sh.m[id]
 	sh.mu.RUnlock()
 	if ok {
 		s.file.Stats().AddRandomReads(1)
+		if o := s.obs.Load(); o != nil {
+			o.reads.Inc()
+			o.hits.Inc()
+		}
 		s.observe(n)
-		return n, nil
+		return n, true, nil
 	}
 	bufp := s.bufs.Get().(*[]byte)
 	if err := s.file.ReadPage(id, *bufp); err != nil {
 		s.bufs.Put(bufp)
-		return nil, err
+		return nil, false, err
 	}
 	n, err := decodeNode(id, *bufp, s.dim)
 	s.bufs.Put(bufp)
 	if err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	if o := s.obs.Load(); o != nil {
+		o.reads.Inc()
+		o.misses.Inc()
 	}
 	sh.mu.Lock()
 	if cached, ok := sh.m[id]; ok {
@@ -223,7 +268,7 @@ func (s *store) get(id pagefile.PageID) (*node, error) {
 	}
 	sh.mu.Unlock()
 	s.observe(n)
-	return n, nil
+	return n, false, nil
 }
 
 // alloc creates a fresh node of the requested kind backed by a new page.

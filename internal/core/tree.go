@@ -7,6 +7,7 @@ import (
 
 	"hybridtree/internal/els"
 	"hybridtree/internal/geom"
+	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 )
 
@@ -36,6 +37,14 @@ type Tree struct {
 	// The records they held are safe (the mutation had already detached
 	// them); only the space is lost.
 	leakedPages int
+	// tracer produces per-query/per-mutation traces (nil = tracing off);
+	// metrics is the shared instrument bundle (nil = metrics off); mutTrace
+	// is the trace of the in-flight top-level mutation, so split and
+	// reinsert events deep in the mutation can attribute themselves to it.
+	// See metrics.go.
+	tracer   obs.Tracer
+	metrics  *treeMetrics
+	mutTrace *obs.Trace
 }
 
 // elsPre is the pre-image of one ELS entry: its encoding, or its absence.
@@ -103,6 +112,9 @@ func (t *Tree) commitMutation(m mutationScope) {
 		return
 	}
 	t.leakedPages += t.store.commitUndo()
+	if mt := t.metrics; mt != nil {
+		mt.leakedPages.Set(int64(t.leakedPages))
+	}
 	t.endELSLog()
 }
 
@@ -175,6 +187,8 @@ func New(file pagefile.File, cfg Config) (*Tree, error) {
 		store:   newStore(file, cfg.Dim),
 		els:     els.NewTable(cfg.ELSBits),
 		elsHead: pagefile.InvalidPage,
+		tracer:  loadDefaultTracer(),
+		metrics: hybridMetrics(),
 	}
 	metaID, err := file.Allocate()
 	if err != nil {
@@ -212,6 +226,8 @@ func Open(file pagefile.File, cfg Config) (*Tree, error) {
 		els:     els.NewTable(cfg.ELSBits),
 		meta:    0,
 		elsHead: pagefile.InvalidPage,
+		tracer:  loadDefaultTracer(),
+		metrics: hybridMetrics(),
 	}
 	if err := t.readMeta(); err != nil {
 		return nil, err
@@ -323,11 +339,14 @@ func (t *Tree) Insert(p geom.Point, rid RecordID) error {
 		return fmt.Errorf("core: vector %v outside the data space %v", p, t.cfg.Space)
 	}
 	m := t.beginMutation()
+	tr, start := t.beginTreeMutation(m, mutInsert)
 	if err := t.insertRecord(p, rid); err != nil {
 		t.rollbackMutation(m)
+		t.finishTreeMutation(mutInsert, tr, start, err)
 		return err
 	}
 	t.commitMutation(m)
+	t.finishTreeMutation(mutInsert, tr, start, nil)
 	return nil
 }
 
@@ -552,12 +571,15 @@ func (t *Tree) Delete(p geom.Point, rid RecordID) (bool, error) {
 		return false, fmt.Errorf("core: vector has dim %d, tree expects %d", len(p), t.cfg.Dim)
 	}
 	m := t.beginMutation()
+	tr, start := t.beginTreeMutation(m, mutDelete)
 	found, err := t.deleteRecord(p, rid)
 	if err != nil {
 		t.rollbackMutation(m)
+		t.finishTreeMutation(mutDelete, tr, start, err)
 		return false, err
 	}
 	t.commitMutation(m)
+	t.finishTreeMutation(mutDelete, tr, start, nil)
 	return found, nil
 }
 
@@ -595,6 +617,10 @@ func (t *Tree) deleteRecord(p geom.Point, rid RecordID) (bool, error) {
 			return false, err
 		}
 		t.size-- // Insert counted it again; the record was already counted
+		if m := t.metrics; m != nil {
+			m.reinserts.Inc()
+		}
+		t.mutTrace.CountReinsert()
 	}
 	return true, nil
 }

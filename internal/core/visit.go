@@ -21,23 +21,32 @@ func (t *Tree) SearchBoxFunc(q geom.Rect, fn func(Entry) bool) error {
 	qc := &c.qc
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
+	tr, start := t.beginQuery(qc, opBox)
+	accepted := 0
 
-	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space)})
+	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space), span: -1})
 	for len(pending) > 0 {
 		v := pending[len(pending)-1]
 		pending = pending[:len(pending)-1]
 		qc.arena.copyOut(v.slot, qc.walk)
 		qc.arena.release(v.slot)
-		n, err := t.store.get(v.child)
+		n, hit, err := t.store.getq(v.child)
 		if err != nil {
 			qc.pending = pending[:0]
+			t.finishQuery(qc, opBox, start, accepted, err)
 			return err
 		}
+		span := tr.Visit(v.span, uint32(v.child), n.leaf, hit)
 		if n.leaf {
+			qc.tally.scanned += len(n.pts)
+			tr.Scan(span, len(n.pts))
 			for i, p := range n.pts {
 				if q.Contains(p) {
+					tr.Hit(span)
+					accepted++
 					if !fn(Entry{Point: p, RID: n.rids[i]}) {
 						qc.pending = pending[:0]
+						t.finishQuery(qc, opBox, start, accepted, nil)
 						return nil
 					}
 				}
@@ -48,10 +57,11 @@ func (t *Tree) SearchBoxFunc(q geom.Rect, fn func(Entry) bool) error {
 			continue
 		}
 		mark := len(pending)
-		pending = t.kdWalkBox(qc, n, q, pending)
+		pending = t.kdWalkBox(qc, n, q, span, pending)
 		reverseVisits(pending[mark:])
 	}
 	qc.pending = pending[:0]
+	t.finishQuery(qc, opBox, start, accepted, nil)
 	return nil
 }
 

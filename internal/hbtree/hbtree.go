@@ -38,6 +38,7 @@ import (
 	"hybridtree/internal/geom"
 	"hybridtree/internal/index"
 	"hybridtree/internal/nodestore"
+	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 )
 
@@ -90,6 +91,7 @@ type Tree struct {
 	root   pagefile.PageID
 	height int
 	size   int
+	prunes *obs.Counter // index_prunes_total{method="hb"}
 }
 
 // New creates an empty hB-tree on file.
@@ -109,8 +111,9 @@ func New(file pagefile.File, cfg Config) (*Tree, error) {
 	if dataCapacity(&cfg) < 4 {
 		return nil, fmt.Errorf("hbtree: page size %d too small for %d dimensions", cfg.PageSize, cfg.Dim)
 	}
-	t := &Tree{cfg: cfg, file: file}
+	t := &Tree{cfg: cfg, file: file, prunes: obs.PruneCounter(obs.Default(), "hb")}
 	t.store = nodestore.New[*node](file, codec{dim: cfg.Dim, space: cfg.Space})
+	t.store.SetObsMethod("hb")
 	id, err := t.store.Alloc()
 	if err != nil {
 		return nil, err
@@ -567,6 +570,7 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 		return nil, fmt.Errorf("hbtree: query has dim %d, want %d", q.Dim(), t.cfg.Dim)
 	}
 	var out []index.Entry
+	pruned := 0
 	pinned := make(map[pagefile.PageID]*node)
 	emitted := make(map[pagefile.PageID]bool)
 	// done records the routing regions already processed per page; a new
@@ -634,6 +638,8 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 				if err := walk(k.Left); err != nil {
 					return err
 				}
+			} else {
+				pruned++
 			}
 			brWalk.Hi[d] = oldHi
 			oldLo := brWalk.Lo[d]
@@ -644,6 +650,8 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 				if err := walk(k.Right); err != nil {
 					return err
 				}
+			} else {
+				pruned++
 			}
 			brWalk.Lo[d] = oldLo
 			return nil
@@ -654,6 +662,7 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 		return nil
 	}
 	err := visit(t.root, t.cfg.Space)
+	t.prunes.Add(uint64(pruned))
 	return out, err
 }
 
@@ -689,6 +698,8 @@ type Stats struct {
 
 // Stats walks every reachable node without perturbing access counters.
 func (t *Tree) Stats() (Stats, error) {
+	savedObs := t.store.PauseObs()
+	defer t.store.ResumeObs(savedObs)
 	saved := *t.file.Stats()
 	defer func() { *t.file.Stats() = saved }()
 	st := Stats{Height: t.height}

@@ -21,6 +21,7 @@ import (
 	"hybridtree/internal/geom"
 	"hybridtree/internal/index"
 	"hybridtree/internal/nodestore"
+	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 	"hybridtree/internal/pqueue"
 )
@@ -57,6 +58,7 @@ type Tree struct {
 	// by Stats. Both exist to demonstrate the failure mode the hybrid tree
 	// paper cites.
 	CascadeSplits int
+	prunes        *obs.Counter // index_prunes_total{method="kdb"}
 }
 
 const headerSize = 6
@@ -81,8 +83,9 @@ func New(file pagefile.File, cfg Config) (*Tree, error) {
 	if cfg.leafCap() < 2 || cfg.nodeCap() < 2 {
 		return nil, fmt.Errorf("kdbtree: page size %d too small for %d dimensions", cfg.PageSize, cfg.Dim)
 	}
-	t := &Tree{cfg: cfg, file: file, rootRe: cfg.Space}
+	t := &Tree{cfg: cfg, file: file, rootRe: cfg.Space, prunes: obs.PruneCounter(obs.Default(), "kdb")}
 	t.store = nodestore.New[*node](file, codec{dim: cfg.Dim})
+	t.store.SetObsMethod("kdb")
 	id, err := t.store.Alloc()
 	if err != nil {
 		return nil, err
@@ -354,6 +357,7 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 		return nil, fmt.Errorf("kdbtree: query has dim %d, want %d", q.Dim(), t.cfg.Dim)
 	}
 	var out []index.Entry
+	pruned := 0
 	var walk func(id pagefile.PageID) error
 	walk = func(id pagefile.PageID) error {
 		n, err := t.store.Get(id)
@@ -373,11 +377,14 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 				if err := walk(n.children[i]); err != nil {
 					return err
 				}
+			} else {
+				pruned++
 			}
 		}
 		return nil
 	}
 	err := walk(t.root)
+	t.prunes.Add(uint64(pruned))
 	return out, err
 }
 
@@ -391,6 +398,7 @@ func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]index
 		return nil, fmt.Errorf("kdbtree: negative radius %g", radius)
 	}
 	var out []index.Neighbor
+	pruned := 0
 	var walk func(id pagefile.PageID) error
 	walk = func(id pagefile.PageID) error {
 		n, err := t.store.Get(id)
@@ -410,11 +418,14 @@ func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]index
 				if err := walk(n.children[i]); err != nil {
 					return err
 				}
+			} else {
+				pruned++
 			}
 		}
 		return nil
 	}
 	err := walk(t.root)
+	t.prunes.Add(uint64(pruned))
 	return out, err
 }
 
@@ -426,6 +437,7 @@ func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]index.Neighbor, 
 	if k < 1 {
 		return nil, fmt.Errorf("kdbtree: k must be >= 1, got %d", k)
 	}
+	pruned := 0
 	var pq pqueue.Min[pagefile.PageID]
 	best := pqueue.NewKBest[index.Neighbor](k)
 	pq.Push(t.root, 0)
@@ -449,9 +461,12 @@ func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]index.Neighbor, 
 			md := m.MinDistRect(q, n.rects[i])
 			if !best.Full() || md <= best.Bound() {
 				pq.Push(n.children[i], md)
+			} else {
+				pruned++
 			}
 		}
 	}
+	t.prunes.Add(uint64(pruned))
 	ns, _ := best.Sorted()
 	return ns, nil
 }
@@ -473,6 +488,8 @@ type Stats struct {
 func (t *Tree) Stats() (Stats, error) {
 	saved := *t.file.Stats()
 	defer func() { *t.file.Stats() = saved }()
+	savedObs := t.store.PauseObs()
+	defer t.store.ResumeObs(savedObs)
 	st := Stats{Height: t.height, Cascades: t.CascadeSplits, MinLeafFill: 1}
 	var fillSum float64
 	var walk func(id pagefile.PageID) error

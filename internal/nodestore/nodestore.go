@@ -11,7 +11,9 @@ package nodestore
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 )
 
@@ -35,6 +37,41 @@ type Store[N any] struct {
 	codec  Codec[N]
 	shards [shards]shard[N]
 	bufs   sync.Pool // *[]byte scratch pages
+	// obs holds the shared node-read/cache-hit counters for the owning
+	// access method (nil = no obs accounting); see SetObsMethod.
+	obs atomic.Pointer[obsCounters]
+}
+
+// obsCounters bundles the unified per-method counters every access method
+// reports reads through (obs.IndexCounters — the same code path the hybrid
+// tree's own store uses, so cross-method numbers stay comparable).
+type obsCounters struct {
+	reads, hits, misses *obs.Counter
+}
+
+// SetObsMethod attaches the store to the unified per-method obs counters
+// under the given method label (the index's Name()).
+func (s *Store[N]) SetObsMethod(method string) {
+	reads, hits, misses := obs.IndexCounters(obs.Default(), method)
+	s.obs.Store(&obsCounters{reads: reads, hits: hits, misses: misses})
+}
+
+// PauseObs detaches the obs counters and returns the previous attachment
+// for ResumeObs, so structural audit walks don't inflate read accounting
+// (mirroring the pagefile.Stats save/restore those walks already do).
+func (s *Store[N]) PauseObs() any {
+	o := s.obs.Load()
+	s.obs.Store(nil)
+	return o
+}
+
+// ResumeObs restores an attachment returned by PauseObs.
+func (s *Store[N]) ResumeObs(o any) {
+	if o == nil {
+		s.obs.Store(nil)
+		return
+	}
+	s.obs.Store(o.(*obsCounters))
 }
 
 // New creates a store over file using codec.
@@ -64,6 +101,10 @@ func (s *Store[N]) Get(id pagefile.PageID) (N, error) {
 	sh.mu.RUnlock()
 	if ok {
 		s.file.Stats().AddRandomReads(1)
+		if o := s.obs.Load(); o != nil {
+			o.reads.Inc()
+			o.hits.Inc()
+		}
 		return n, nil
 	}
 	var zero N
@@ -76,6 +117,10 @@ func (s *Store[N]) Get(id pagefile.PageID) (N, error) {
 	s.bufs.Put(bufp)
 	if err != nil {
 		return zero, err
+	}
+	if o := s.obs.Load(); o != nil {
+		o.reads.Inc()
+		o.misses.Inc()
 	}
 	sh.mu.Lock()
 	if cached, ok := sh.m[id]; ok {

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the log2 bucket layout: 0 has its own
+// bucket, and each power-of-two range lands exactly where BucketUpperBound
+// says it does, including both edges.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{255, 8}, {256, 9},
+		{1 << 40, 41}, {1<<41 - 1, 41},
+		{math.MaxInt64, 63},
+		{-5, 0}, // negatives clamp to 0
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		got := -1
+		for i := 0; i < NumBuckets; i++ {
+			if h.buckets[i].Load() == 1 {
+				got = i
+				break
+			}
+		}
+		if got != c.bucket {
+			t.Errorf("Observe(%d) landed in bucket %d, want %d", c.v, got, c.bucket)
+		}
+		if c.v >= 0 {
+			ub := BucketUpperBound(c.bucket)
+			if uint64(c.v) > ub {
+				t.Errorf("Observe(%d): value above its bucket's upper bound %d", c.v, ub)
+			}
+			if c.bucket > 0 && uint64(c.v) <= BucketUpperBound(c.bucket-1) {
+				t.Errorf("Observe(%d): value not above previous bucket's bound %d",
+					c.v, BucketUpperBound(c.bucket-1))
+			}
+		}
+	}
+	if BucketUpperBound(0) != 0 {
+		t.Errorf("BucketUpperBound(0) = %d", BucketUpperBound(0))
+	}
+	if BucketUpperBound(64) != math.MaxUint64 {
+		t.Errorf("BucketUpperBound(64) = %d", BucketUpperBound(64))
+	}
+}
+
+// TestHistogramMerge checks that merging two histograms is equivalent to
+// observing all their values into one.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, direct Histogram
+	va := []int64{0, 1, 1, 7, 300, 1 << 20}
+	vb := []int64{0, 2, 8, 8, 1 << 20, 1 << 50}
+	for _, v := range va {
+		a.Observe(v)
+		direct.Observe(v)
+	}
+	for _, v := range vb {
+		b.Observe(v)
+		direct.Observe(v)
+	}
+	a.Merge(&b)
+	if a.Count() != direct.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), direct.Count())
+	}
+	if a.Sum() != direct.Sum() {
+		t.Fatalf("merged sum %d, want %d", a.Sum(), direct.Sum())
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if got, want := a.buckets[i].Load(), direct.buckets[i].Load(); got != want {
+			t.Errorf("bucket %d: merged %d, direct %d", i, got, want)
+		}
+	}
+	// Self-merge and nil-merge are no-ops.
+	before := a.Count()
+	a.Merge(&a)
+	a.Merge(nil)
+	if a.Count() != before {
+		t.Fatalf("self/nil merge changed count: %d -> %d", before, a.Count())
+	}
+}
+
+func TestHistogramSnapshotAndQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(100) // bucket [64,127]
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 10000 {
+		t.Fatalf("snapshot count=%d sum=%d", s.Count, s.Sum)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].Le != 127 || s.Buckets[0].Count != 100 {
+		t.Fatalf("snapshot buckets = %+v", s.Buckets)
+	}
+	q := h.Quantile(0.5)
+	if q < 64 || q > 127 {
+		t.Fatalf("median %v outside the only occupied bucket [64,127]", q)
+	}
+	h.Observe(1 << 30)
+	if q := h.Quantile(1); q < 1<<29 {
+		t.Fatalf("max quantile %v below the top observation's bucket", q)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	done := make(chan struct{})
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(i % 1000))
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var total uint64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	if total != workers*per {
+		t.Fatalf("bucket total = %d, want %d", total, workers*per)
+	}
+}

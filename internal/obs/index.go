@@ -1,0 +1,25 @@
+package obs
+
+// IndexCounters resolves the unified node-access counters every access
+// method reports through, labeled by method name:
+//
+//	index_node_reads_total{method=...}    logical node reads (hits + misses)
+//	index_cache_hits_total{method=...}    reads served by a decoded-node cache
+//	index_cache_misses_total{method=...}  reads that decoded a page
+//
+// Sharing one resolver keeps cross-method comparisons on a single code
+// path: a method cannot drift into counting root accesses differently
+// without diverging from the pagefile.Stats parity tests.
+func IndexCounters(r *Registry, method string) (reads, hits, misses *Counter) {
+	reads = r.Counter(`index_node_reads_total{method="` + method + `"}`)
+	hits = r.Counter(`index_cache_hits_total{method="` + method + `"}`)
+	misses = r.Counter(`index_cache_misses_total{method="` + method + `"}`)
+	return reads, hits, misses
+}
+
+// PruneCounter resolves the unified child-prune counter for a method: one
+// increment per child region rejected during a search without reading its
+// node (bounding-region, live-space or MINDIST verdicts alike).
+func PruneCounter(r *Registry, method string) *Counter {
+	return r.Counter(`index_prunes_total{method="` + method + `"}`)
+}

@@ -1,0 +1,270 @@
+// Package obs is the repo's instrumentation substrate: atomic counters,
+// gauges and log-bucketed latency histograms in a named registry with
+// Prometheus-text and JSON exposition, plus a per-query Tracer producing
+// span trees of node visits and prune decisions (trace.go) and an opt-in
+// HTTP introspection endpoint (serve.go).
+//
+// The package is stdlib-only and allocation-disciplined: every metric is a
+// fixed-size struct mutated with atomic operations, so instruments resolved
+// once (at tree or store construction) cost a handful of atomic adds per
+// event and never allocate on the hot path. A nil *Trace is a valid no-op
+// tracer target: every Trace method nil-checks its receiver, which is what
+// keeps the traced query path at zero allocations when tracing is off.
+//
+// Metric names follow the Prometheus convention and may carry a label set
+// inline: "index_node_reads_total{method=\"hybrid\"}". The registry treats
+// the full string as the identity; the Prometheus writer splits it so that
+// histogram "le" labels merge into the existing braces.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that may go up or down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named collection of metrics. Lookups are get-or-create and
+// safe for concurrent use; the returned instruments are shared by every
+// caller asking for the same name, which is what unifies accounting across
+// access methods (each method resolves the same counter names).
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, the one the index layers
+// register into and the one cmd binaries serve.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name, creating it if needed.
+// Registering the same name as two different metric kinds panics: it is a
+// programming error that would silently split accounting.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	r.checkKindLocked(name, "counter")
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	r.checkKindLocked(name, "gauge")
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	r.checkKindLocked(name, "histogram")
+	h = &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+func (r *Registry) checkKindLocked(name, want string) {
+	if _, ok := r.counters[name]; ok && want != "counter" {
+		panic(fmt.Sprintf("obs: %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && want != "gauge" {
+		panic(fmt.Sprintf("obs: %q already registered as a gauge", name))
+	}
+	if _, ok := r.histograms[name]; ok && want != "histogram" {
+		panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
+	}
+}
+
+// splitName separates an inline label set from a metric name:
+// `reads{method="x"}` becomes (`reads`, `method="x"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinLabels renders a label set with extra appended, inside braces; an
+// empty result renders as no braces at all.
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	default:
+		return "{" + labels + "," + extra + "}"
+	}
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, sorted by name so output is diff-stable.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	counters := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h.Snapshot()
+	}
+	r.mu.RUnlock()
+
+	typed := make(map[string]bool)
+	writeType := func(base, kind string) {
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	for _, name := range sortedKeys(counters) {
+		base, labels := splitName(name)
+		writeType(base, "counter")
+		fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(labels, ""), counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		base, labels := splitName(name)
+		writeType(base, "gauge")
+		fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(labels, ""), gauges[name])
+	}
+	histNames := make([]string, 0, len(hists))
+	for name := range hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		s := hists[name]
+		base, labels := splitName(name)
+		writeType(base, "histogram")
+		cum := uint64(0)
+		for _, b := range s.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket%s %d\n", base, joinLabels(labels, fmt.Sprintf("le=%q", fmt.Sprint(b.Le))), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", base, joinLabels(labels, `le="+Inf"`), s.Count)
+		fmt.Fprintf(w, "%s_sum%s %d\n", base, joinLabels(labels, ""), s.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", base, joinLabels(labels, ""), s.Count)
+	}
+}
+
+// WriteJSON renders every registered metric as one JSON document with
+// stable (sorted) key order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	doc := struct {
+		Counters   map[string]uint64            `json:"counters"`
+		Gauges     map[string]int64             `json:"gauges"`
+		Histograms map[string]HistogramSnapshot `json:"histograms"`
+	}{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		doc.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		doc.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		doc.Histograms[name] = h.Snapshot()
+	}
+	r.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentAccess hammers get-or-create and increments from
+// many goroutines (run under -race in CI): same-name lookups must converge
+// on one instrument and no increment may be lost.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("shared_total").Inc()
+				r.Counter("per_worker_total{w=\"" + string(rune('a'+w%4)) + "\"}").Inc()
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h_ns").Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*per {
+		t.Fatalf("shared counter = %d, want %d", got, workers*per)
+	}
+	var labeled uint64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		labeled += r.Counter("per_worker_total{w=\"" + l + "\"}").Value()
+	}
+	if labeled != workers*per {
+		t.Fatalf("labeled counters total %d, want %d", labeled, workers*per)
+	}
+	if got := r.Histogram("h_ns").Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge after a counter did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`reads_total{method="hybrid"}`).Add(7)
+	r.Counter(`reads_total{method="sr"}`).Add(3)
+	r.Gauge("leaked_pages").Set(2)
+	h := r.Histogram(`query_ns{op="knn"}`)
+	h.Observe(100)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE reads_total counter",
+		`reads_total{method="hybrid"} 7`,
+		`reads_total{method="sr"} 3`,
+		"# TYPE leaked_pages gauge",
+		"leaked_pages 2",
+		"# TYPE query_ns histogram",
+		`query_ns_bucket{op="knn",le="7"} 1`,
+		`query_ns_bucket{op="knn",le="127"} 2`,
+		`query_ns_bucket{op="knn",le="+Inf"} 2`,
+		`query_ns_sum{op="knn"} 105`,
+		`query_ns_count{op="knn"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE reads_total counter") != 1 {
+		t.Errorf("TYPE line for reads_total not deduplicated:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(4)
+	r.Histogram("h").Observe(9)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]uint64            `json:"counters"`
+		Gauges     map[string]int64             `json:"gauges"`
+		Histograms map[string]HistogramSnapshot `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Counters["c"] != 4 {
+		t.Fatalf("counters = %v", doc.Counters)
+	}
+	hs := doc.Histograms["h"]
+	if hs.Count != 1 || hs.Sum != 9 || len(hs.Buckets) != 1 || hs.Buckets[0].Le != 15 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+}

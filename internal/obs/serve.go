@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// NewMux builds the introspection handler tree:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/metrics.json   the same registry as JSON
+//	/debug/queries  recent finished traces from ring, newest first
+//	                (?n=LIMIT, ?op=FILTER)
+//	/debug/vars     expvar
+//	/debug/pprof/   the standard pprof handlers
+//
+// ring may be nil, in which case /debug/queries reports an empty list.
+func NewMux(reg *Registry, ring *Ring) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		var traces []*Trace
+		if ring != nil {
+			traces = ring.Snapshot()
+		}
+		if op := r.URL.Query().Get("op"); op != "" {
+			kept := traces[:0]
+			for _, t := range traces {
+				if t.Op == op {
+					kept = append(kept, t)
+				}
+			}
+			traces = kept
+		}
+		if ns := r.URL.Query().Get("n"); ns != "" {
+			if n, err := strconv.Atoi(ns); err == nil && n >= 0 && n < len(traces) {
+				traces = traces[:n]
+			}
+		}
+		if traces == nil {
+			traces = []*Trace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(traces)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the introspection endpoint on addr (e.g. "localhost:6060";
+// port 0 picks a free port) and serves it on a background goroutine. The
+// returned listener address reports the bound port; Close the server to
+// stop it.
+func Serve(addr string, reg *Registry, ring *Ring) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg, ring)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

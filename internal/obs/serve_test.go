@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`index_node_reads_total{method="hybrid"}`).Add(42)
+	reg.Histogram(`core_query_ns{op="box"}`).Observe(1000)
+	ring := NewRing(8)
+	for _, op := range []string{"box", "knn", "knn"} {
+		tr := ring.StartTrace(op)
+		tr.Visit(-1, 1, true, true)
+		tr.FinishSince(tr.Start)
+	}
+	srv := httptest.NewServer(NewMux(reg, ring))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, `index_node_reads_total{method="hybrid"} 42`) {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &doc); err != nil {
+		t.Errorf("/metrics.json invalid: %v", err)
+	}
+	var traces []*Trace
+	if err := json.Unmarshal([]byte(get("/debug/queries")), &traces); err != nil {
+		t.Fatalf("/debug/queries invalid: %v", err)
+	}
+	if len(traces) != 3 || len(traces[0].Spans) != 1 {
+		t.Fatalf("/debug/queries returned %d traces: %+v", len(traces), traces)
+	}
+	if err := json.Unmarshal([]byte(get("/debug/queries?op=knn&n=1")), &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].Op != "knn" {
+		t.Fatalf("filtered /debug/queries = %+v", traces)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "memstats") {
+		t.Errorf("/debug/vars missing expvar output")
+	}
+}
+
+func TestServe(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// /debug/queries with a nil ring returns an empty JSON list.
+	resp, err = http.Get("http://" + addr.String() + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(b)) != "[]" {
+		t.Fatalf("/debug/queries with nil ring = %q", b)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"hybridtree/internal/obs"
 )
 
 // Buffered wraps a File with an LRU page buffer. Hits are served from memory
@@ -23,6 +25,9 @@ type Buffered struct {
 	lru      *list.List // front = most recent; values are *bufPage
 	byID     map[PageID]*list.Element
 	stats    Stats
+	// Shared obs counters: the buffer's hit ratio and eviction pressure,
+	// aggregated across all Buffered instances in the process.
+	obsHits, obsMisses, obsEvicts *obs.Counter
 }
 
 type bufPage struct {
@@ -36,11 +41,15 @@ func NewBuffered(inner File, capacity int) *Buffered {
 	if capacity < 1 {
 		capacity = 1
 	}
+	r := obs.Default()
 	return &Buffered{
-		inner:    inner,
-		capacity: capacity,
-		lru:      list.New(),
-		byID:     make(map[PageID]*list.Element),
+		inner:     inner,
+		capacity:  capacity,
+		lru:       list.New(),
+		byID:      make(map[PageID]*list.Element),
+		obsHits:   r.Counter("pagefile_buffer_hits_total"),
+		obsMisses: r.Counter("pagefile_buffer_misses_total"),
+		obsEvicts: r.Counter("pagefile_buffer_evictions_total"),
 	}
 }
 
@@ -56,9 +65,11 @@ func (b *Buffered) NumPages() int { return b.inner.NumPages() }
 
 func (b *Buffered) get(id PageID, seq bool) (*bufPage, error) {
 	if el, ok := b.byID[id]; ok {
+		b.obsHits.Inc()
 		b.lru.MoveToFront(el)
 		return el.Value.(*bufPage), nil
 	}
+	b.obsMisses.Inc()
 	p := &bufPage{id: id, data: make([]byte, b.inner.PageSize())}
 	var err error
 	if seq {
@@ -82,6 +93,7 @@ func (b *Buffered) insert(p *bufPage) {
 		victim := el.Value.(*bufPage)
 		b.lru.Remove(el)
 		delete(b.byID, victim.id)
+		b.obsEvicts.Inc()
 		if victim.dirty {
 			// Eviction write-back failure is unrecoverable at this layer;
 			// surface it on the next operation via a poisoned buffer would

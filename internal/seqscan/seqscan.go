@@ -14,6 +14,7 @@ import (
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
 	"hybridtree/internal/index"
+	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 	"hybridtree/internal/pqueue"
 )
@@ -27,6 +28,7 @@ type Scan struct {
 	lastFill int // entries on the final page
 	count    int
 	buf      []byte // scratch page buffer
+	reads    *obs.Counter
 }
 
 // page layout: count uint16, then entries of (rid uint64, dim float32s).
@@ -41,7 +43,8 @@ func New(file pagefile.File, dim int) (*Scan, error) {
 	if perPage < 1 {
 		return nil, fmt.Errorf("seqscan: page size %d cannot hold a %d-d entry", file.PageSize(), dim)
 	}
-	return &Scan{file: file, dim: dim, perPage: perPage, buf: make([]byte, file.PageSize())}, nil
+	reads, _, _ := obs.IndexCounters(obs.Default(), "scan")
+	return &Scan{file: file, dim: dim, perPage: perPage, buf: make([]byte, file.PageSize()), reads: reads}, nil
 }
 
 // Name implements index.Index.
@@ -166,6 +169,7 @@ func (s *Scan) Delete(p geom.Point, rid uint64) (bool, error) {
 func (s *Scan) scan(fn func(p geom.Point, rid uint64)) error {
 	buf := make([]byte, s.file.PageSize())
 	p := make(geom.Point, s.dim)
+	s.reads.Add(uint64(len(s.pages)))
 	for _, id := range s.pages {
 		if err := s.file.ReadPageSeq(id, buf); err != nil {
 			return err

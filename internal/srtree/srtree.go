@@ -19,6 +19,7 @@ import (
 	"hybridtree/internal/geom"
 	"hybridtree/internal/index"
 	"hybridtree/internal/nodestore"
+	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 	"hybridtree/internal/pqueue"
 )
@@ -59,6 +60,7 @@ type Tree struct {
 	root   pagefile.PageID
 	height int
 	size   int
+	prunes *obs.Counter // index_prunes_total{method="sr"}
 }
 
 const headerSize = 6
@@ -100,8 +102,9 @@ func New(file pagefile.File, cfg Config) (*Tree, error) {
 	if cfg.leafCap() < 2 || cfg.nodeCap() < 2 {
 		return nil, fmt.Errorf("srtree: page size %d too small for %d dimensions", cfg.PageSize, cfg.Dim)
 	}
-	t := &Tree{cfg: cfg, file: file}
+	t := &Tree{cfg: cfg, file: file, prunes: obs.PruneCounter(obs.Default(), "sr")}
 	t.store = nodestore.New[*node](file, codec{dim: cfg.Dim})
+	t.store.SetObsMethod("sr")
 	root, err := t.newNode(true)
 	if err != nil {
 		return nil, err
@@ -494,6 +497,7 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 		return nil, fmt.Errorf("srtree: query has dim %d, want %d", q.Dim(), t.cfg.Dim)
 	}
 	var out []index.Entry
+	pruned := 0
 	var walk func(id pagefile.PageID) error
 	walk = func(id pagefile.PageID) error {
 		n, err := t.store.Get(id)
@@ -511,10 +515,12 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 		for i := range n.ents {
 			e := &n.ents[i]
 			if !e.rect.Intersects(q) {
+				pruned++
 				continue
 			}
 			if dist.L2().MinDistRect(e.centroid, q) > e.radius {
-				continue // sphere misses the query box
+				pruned++ // sphere misses the query box
+				continue
 			}
 			if err := walk(e.child); err != nil {
 				return err
@@ -523,6 +529,7 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 		return nil
 	}
 	err := walk(t.root)
+	t.prunes.Add(uint64(pruned))
 	return out, err
 }
 
@@ -541,6 +548,7 @@ func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]index
 		bound = radius * radius
 	}
 	var out []index.Neighbor
+	pruned := 0
 	var walk func(id pagefile.PageID) error
 	walk = func(id pagefile.PageID) error {
 		n, err := t.store.Get(id)
@@ -570,11 +578,14 @@ func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]index
 				if err := walk(n.ents[i].child); err != nil {
 					return err
 				}
+			} else {
+				pruned++
 			}
 		}
 		return nil
 	}
 	err := walk(t.root)
+	t.prunes.Add(uint64(pruned))
 	return out, err
 }
 
@@ -589,6 +600,7 @@ func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]index.Neighbor, 
 	}
 	sphereOK := dist.DominatesL2(m)
 	sqm, useSq := dist.AsSquared(m)
+	pruned := 0
 	var pq pqueue.Min[pagefile.PageID]
 	best := pqueue.NewKBest[index.Neighbor](k)
 	pq.Push(t.root, 0)
@@ -632,9 +644,12 @@ func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]index.Neighbor, 
 			}
 			if !best.Full() || md <= best.Bound() {
 				pq.Push(n.ents[i].child, md)
+			} else {
+				pruned++
 			}
 		}
 	}
+	t.prunes.Add(uint64(pruned))
 	ns, _ := best.Sorted()
 	if useSq {
 		for i := range ns {
@@ -660,6 +675,8 @@ type Stats struct {
 func (t *Tree) Stats() (Stats, error) {
 	saved := *t.file.Stats()
 	defer func() { *t.file.Stats() = saved }()
+	savedObs := t.store.PauseObs()
+	defer t.store.ResumeObs(savedObs)
 	st := Stats{Height: t.height, LeafCap: t.cfg.leafCap(), NodeCap: t.cfg.nodeCap()}
 	fanout := 0
 	var walk func(id pagefile.PageID) error

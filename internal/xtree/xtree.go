@@ -17,6 +17,7 @@ import (
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
 	"hybridtree/internal/index"
+	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 	"hybridtree/internal/pqueue"
 )
@@ -60,6 +61,16 @@ type Tree struct {
 	root   pagefile.PageID
 	height int
 	size   int
+	// obs holds the unified per-method read counters (nil while an audit
+	// walk has them paused); prunes is index_prunes_total{method="x"}. The
+	// X-tree is single-goroutine (plain map cache), so plain fields suffice.
+	obs    *obsCounters
+	prunes *obs.Counter
+}
+
+// obsCounters bundles the shared obs.IndexCounters resolution.
+type obsCounters struct {
+	reads, hits, misses *obs.Counter
 }
 
 const headerSize = 12 // magic, type, dim u16, count u16, next u32, pad
@@ -90,6 +101,9 @@ func New(file pagefile.File, cfg Config) (*Tree, error) {
 	t := &Tree{cfg: cfg, file: file,
 		cache: make(map[pagefile.PageID]*node),
 		buf:   make([]byte, cfg.PageSize)}
+	reads, hits, misses := obs.IndexCounters(obs.Default(), "x")
+	t.obs = &obsCounters{reads: reads, hits: hits, misses: misses}
+	t.prunes = obs.PruneCounter(obs.Default(), "x")
 	root := &node{leaf: true}
 	id, err := t.alloc()
 	if err != nil {
@@ -107,15 +121,27 @@ func New(file pagefile.File, cfg Config) (*Tree, error) {
 func (t *Tree) alloc() (pagefile.PageID, error) { return t.file.Allocate() }
 
 // get loads a node, charging one logical read per page of its chain (the
-// honest cost of a supernode).
+// honest cost of a supernode). The charge goes through the atomic Stats
+// accessor like every other access method's, so totals stay exact even when
+// another index shares the file's counters with a concurrent reader.
 func (t *Tree) get(id pagefile.PageID) (*node, error) {
 	if n, ok := t.cache[id]; ok {
-		t.file.Stats().RandomReads += 1 + uint64(len(n.chain))
+		pages := 1 + uint64(len(n.chain))
+		t.file.Stats().AddRandomReads(pages)
+		if o := t.obs; o != nil {
+			o.reads.Add(pages)
+			o.hits.Add(pages)
+		}
 		return n, nil
 	}
 	n, err := t.load(id)
 	if err != nil {
 		return nil, err
+	}
+	if o := t.obs; o != nil {
+		pages := 1 + uint64(len(n.chain))
+		o.reads.Add(pages)
+		o.misses.Add(pages)
 	}
 	t.cache[id] = n
 	return n, nil
@@ -498,6 +524,7 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 		return nil, fmt.Errorf("xtree: query has dim %d, want %d", q.Dim(), t.cfg.Dim)
 	}
 	var out []index.Entry
+	pruned := 0
 	var walk func(id pagefile.PageID) error
 	walk = func(id pagefile.PageID) error {
 		n, err := t.get(id)
@@ -517,11 +544,14 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 				if err := walk(n.ents[i].child); err != nil {
 					return err
 				}
+			} else {
+				pruned++
 			}
 		}
 		return nil
 	}
 	err := walk(t.root)
+	t.prunes.Add(uint64(pruned))
 	return out, err
 }
 
@@ -534,6 +564,7 @@ func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]index
 		return nil, fmt.Errorf("xtree: negative radius %g", radius)
 	}
 	var out []index.Neighbor
+	pruned := 0
 	var walk func(id pagefile.PageID) error
 	walk = func(id pagefile.PageID) error {
 		n, err := t.get(id)
@@ -553,11 +584,14 @@ func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]index
 				if err := walk(n.ents[i].child); err != nil {
 					return err
 				}
+			} else {
+				pruned++
 			}
 		}
 		return nil
 	}
 	err := walk(t.root)
+	t.prunes.Add(uint64(pruned))
 	return out, err
 }
 
@@ -569,6 +603,7 @@ func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]index.Neighbor, 
 	if k < 1 {
 		return nil, fmt.Errorf("xtree: k must be >= 1, got %d", k)
 	}
+	pruned := 0
 	var pq pqueue.Min[pagefile.PageID]
 	best := pqueue.NewKBest[index.Neighbor](k)
 	pq.Push(t.root, 0)
@@ -592,9 +627,12 @@ func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]index.Neighbor, 
 			md := m.MinDistRect(q, n.ents[i].rect)
 			if !best.Full() || md <= best.Bound() {
 				pq.Push(n.ents[i].child, md)
+			} else {
+				pruned++
 			}
 		}
 	}
+	t.prunes.Add(uint64(pruned))
 	ns, _ := best.Sorted()
 	return ns, nil
 }
@@ -614,6 +652,9 @@ type Stats struct {
 func (t *Tree) Stats() (Stats, error) {
 	saved := *t.file.Stats()
 	defer func() { *t.file.Stats() = saved }()
+	savedObs := t.obs
+	t.obs = nil
+	defer func() { t.obs = savedObs }()
 	st := Stats{Height: t.height}
 	var walk func(id pagefile.PageID) error
 	walk = func(id pagefile.PageID) error {
