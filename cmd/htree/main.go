@@ -13,6 +13,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +50,8 @@ func main() {
 		k        = fs.Int("k", 10, "knn: number of neighbors")
 		radius   = fs.Float64("radius", 0.1, "range: query radius")
 		metric   = fs.String("metric", "L2", "distance metric: L1, L2, Linf, or Lp:<p>")
+		deadline = fs.Duration("deadline", 0, "query: context deadline; an expired query aborts with no results (0 disables)")
+		budgetPg = fs.Int("budget-pages", 0, "query: page-read budget; an exhausted query degrades to a partial answer (0 = unlimited)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -65,13 +69,14 @@ func main() {
 		defer file.Close()
 		tree, err := core.Open(file, core.Config{Dim: *dim, PageSize: *pageSize})
 		check(err)
+		lc := lifecycle{deadline: *deadline, budget: core.Budget{MaxPageReads: *budgetPg}}
 		switch cmd {
 		case "knn":
-			runKNN(tree, parsePoint(*point, *dim), *k, parseMetric(*metric))
+			runKNN(tree, parsePoint(*point, *dim), *k, parseMetric(*metric), lc)
 		case "range":
-			runRange(tree, parsePoint(*point, *dim), *radius, parseMetric(*metric))
+			runRange(tree, parsePoint(*point, *dim), *radius, parseMetric(*metric), lc)
 		case "box":
-			runBox(tree, parsePoint(*loStr, *dim), parsePoint(*hiStr, *dim))
+			runBox(tree, parsePoint(*loStr, *dim), parsePoint(*hiStr, *dim), lc)
 		case "explain":
 			runExplain(tree, parsePoint(*loStr, *dim), parsePoint(*hiStr, *dim))
 		case "stats":
@@ -212,36 +217,70 @@ func parseMetric(s string) dist.Metric {
 	return nil
 }
 
-func runKNN(tree *core.Tree, q geom.Point, k int, m dist.Metric) {
+// lifecycle carries the per-query deadline and budget flags. ctx returns
+// the query context; settle handles the query error: a budget-exhausted
+// query prints a degraded-answer note and keeps its partial results, any
+// other error is fatal.
+type lifecycle struct {
+	deadline time.Duration
+	budget   core.Budget
+}
+
+func (lc lifecycle) ctx() (context.Context, context.CancelFunc) {
+	if lc.deadline > 0 {
+		return context.WithTimeout(context.Background(), lc.deadline)
+	}
+	return context.Background(), func() {}
+}
+
+func settle(err error) {
+	if err == nil {
+		return
+	}
+	var be *core.ErrBudgetExceeded
+	if errors.As(err, &be) {
+		fmt.Printf("degraded: %v\n", be)
+		return
+	}
+	check(err)
+}
+
+func runKNN(tree *core.Tree, q geom.Point, k int, m dist.Metric, lc lifecycle) {
 	stats := tree.File().Stats()
 	stats.Reset()
+	ctx, cancel := lc.ctx()
+	defer cancel()
 	start := time.Now()
-	ns, err := tree.SearchKNN(q, k, m)
-	check(err)
+	ns, err := tree.SearchKNNContext(ctx, core.NewQueryContext(), q, k, m, lc.budget, nil)
+	settle(err)
 	for i, nb := range ns {
 		fmt.Printf("%2d. rid=%d dist=%.6f\n", i+1, nb.RID, nb.Dist)
 	}
 	fmt.Printf("(%d page reads, %v)\n", stats.Reads(), time.Since(start).Round(time.Microsecond))
 }
 
-func runRange(tree *core.Tree, q geom.Point, radius float64, m dist.Metric) {
+func runRange(tree *core.Tree, q geom.Point, radius float64, m dist.Metric, lc lifecycle) {
 	stats := tree.File().Stats()
 	stats.Reset()
+	ctx, cancel := lc.ctx()
+	defer cancel()
 	start := time.Now()
-	ns, err := tree.SearchRange(q, radius, m)
-	check(err)
+	ns, err := tree.SearchRangeContext(ctx, core.NewQueryContext(), q, radius, m, lc.budget, nil)
+	settle(err)
 	for _, nb := range ns {
 		fmt.Printf("rid=%d dist=%.6f\n", nb.RID, nb.Dist)
 	}
 	fmt.Printf("(%d results, %d page reads, %v)\n", len(ns), stats.Reads(), time.Since(start).Round(time.Microsecond))
 }
 
-func runBox(tree *core.Tree, lo, hi geom.Point) {
+func runBox(tree *core.Tree, lo, hi geom.Point, lc lifecycle) {
 	stats := tree.File().Stats()
 	stats.Reset()
+	ctx, cancel := lc.ctx()
+	defer cancel()
 	start := time.Now()
-	es, err := tree.SearchBox(geom.NewRect(lo, hi))
-	check(err)
+	es, err := tree.SearchBoxContext(ctx, core.NewQueryContext(), geom.NewRect(lo, hi), lc.budget, nil)
+	settle(err)
 	for _, e := range es {
 		fmt.Printf("rid=%d\n", e.RID)
 	}

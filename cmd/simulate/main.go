@@ -30,6 +30,10 @@ func main() {
 		faultSeed  = flag.Int64("fault-seed", 0, "fault schedule seed (default seed+1)")
 		checkEvery = flag.Int("check-every", 1000, "full differential check interval")
 		repeat     = flag.Int("repeat", 1, "runs; digests must match across all of them")
+		deadline   = flag.Duration("deadline", 0, "per-query context deadline (0 disables)")
+		budgetPgs  = flag.Int("budget-pages", 0, "per-query page-read budget; exhausted queries degrade to a verified partial answer (0 = unlimited)")
+		retry      = flag.Bool("retry", false, "layer the retry/breaker read path under the hybrid tree and periodically drop caches so queries recover injected faults in-path")
+		maxLeaked  = flag.Int("max-leaked", -1, "fail if any index leaks more than this many pages after the final flush (-1 disables; CI passes 0)")
 		verbose    = flag.Bool("v", false, "per-index reports")
 		obsAddr    = flag.String("obs", "", "serve the introspection endpoint on this address (e.g. localhost:6060) for the duration of the run")
 	)
@@ -59,6 +63,7 @@ func main() {
 		Faults:     profile,
 		FaultSeed:  *faultSeed,
 		CheckEvery: *checkEvery,
+		Lifecycle:  sim.LifecycleConfig{Deadline: *deadline, BudgetPages: *budgetPgs, Retry: *retry},
 	}
 
 	var digest uint64
@@ -67,6 +72,13 @@ func main() {
 		if err != nil {
 			fail(cfg, err)
 		}
+		for _, ir := range rep.Indexes {
+			if *maxLeaked >= 0 && ir.LeakedPages > *maxLeaked {
+				fmt.Fprintf(os.Stderr, "LEAK: %s leaked %d pages after the final flush (max %d)\n",
+					ir.Name, ir.LeakedPages, *maxLeaked)
+				os.Exit(1)
+			}
+		}
 		if run == 0 {
 			digest = rep.Digest
 			if *verbose {
@@ -74,6 +86,10 @@ func main() {
 					fmt.Printf("%-7s ops=%d size=%d pages=%d mut-errs=%d unsupported=%d leaked=%d faults=%d digest=%016x\n",
 						ir.Name, ir.Ops, ir.FinalSize, ir.NumPages, ir.MutationErrors,
 						ir.Unsupported, ir.LeakedPages, ir.ChaosCounts.Total(), ir.Digest)
+					fmt.Printf("        outcomes: ok=%d cancelled=%d timeout=%d shed=%d degraded=%d error=%d\n",
+						ir.Outcomes[obs.OutcomeOK], ir.Outcomes[obs.OutcomeCancelled],
+						ir.Outcomes[obs.OutcomeTimeout], ir.Outcomes[obs.OutcomeShed],
+						ir.Outcomes[obs.OutcomeDegraded], ir.Outcomes[obs.OutcomeError])
 				}
 			}
 		} else if rep.Digest != digest {

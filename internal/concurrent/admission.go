@@ -1,0 +1,211 @@
+package concurrent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hybridtree/internal/core"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/obs"
+)
+
+// Admission-control sentinels.
+var (
+	// ErrShed is returned when the executor rejects a request without
+	// running it: the queue was full at submission, or the request's
+	// deadline expired while it waited in the queue. A shed request did no
+	// tree work at all.
+	ErrShed = errors.New("concurrent: request shed by admission control")
+
+	// ErrClosed is returned for requests submitted after Close.
+	ErrClosed = errors.New("concurrent: executor closed")
+)
+
+// ExecutorConfig sizes an Executor.
+type ExecutorConfig struct {
+	// Workers is the number of query workers (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 2×Workers). A full
+	// queue sheds new requests with ErrShed instead of queueing them behind
+	// work that would blow their deadlines anyway.
+	QueueDepth int
+}
+
+func (cfg ExecutorConfig) withDefaults() ExecutorConfig {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	return cfg
+}
+
+type execTask struct {
+	ctx  context.Context
+	run  func(c *core.QueryContext) error
+	done chan error // buffered: the worker never blocks on delivery
+}
+
+// execMetrics is the executor's shared obs bundle.
+type execMetrics struct {
+	outcomes *obs.Outcomes
+	panics   *obs.Counter
+	depth    *obs.Gauge // live queued-but-not-started requests
+}
+
+var (
+	execMetricsOnce sync.Once
+	execMetricsVal  *execMetrics
+)
+
+func execObs() *execMetrics {
+	execMetricsOnce.Do(func() {
+		r := obs.Default()
+		execMetricsVal = &execMetrics{
+			outcomes: obs.NewOutcomes(r, "concurrent_request_outcomes_total"),
+			panics:   r.Counter("concurrent_executor_panics_total"),
+			depth:    r.Gauge("concurrent_executor_queue_depth"),
+		}
+	})
+	return execMetricsVal
+}
+
+// Executor is the tree's admission-control front door: a bounded queue
+// feeding a fixed worker pool. Overload resolves at the edge — a full queue
+// sheds new requests immediately (ErrShed) rather than letting latency grow
+// without bound — and a request whose deadline expired while queued is shed
+// before it wastes a worker. Each worker owns one pooled QueryContext, every
+// request is panic-isolated, and every request resolves to exactly one
+// outcome counter in concurrent_request_outcomes_total. Close drains: queued
+// requests still run (or shed on their expired deadlines), then the workers
+// exit.
+type Executor struct {
+	tree  *Tree
+	tasks chan *execTask
+	m     *execMetrics
+
+	mu     sync.Mutex // guards closed and the submit-vs-close race
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewExecutor starts the worker pool over t.
+func NewExecutor(t *Tree, cfg ExecutorConfig) *Executor {
+	cfg = cfg.withDefaults()
+	e := &Executor{
+		tree:  t,
+		tasks: make(chan *execTask, cfg.QueueDepth),
+		m:     execObs(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Do submits fn and blocks until it resolves. fn runs on a worker goroutine
+// under the tree's read lock with a pooled QueryContext. The error is fn's
+// own, ErrShed (queue full or deadline expired while queued), ErrClosed, or
+// a panic converted to an error.
+func (e *Executor) Do(ctx context.Context, fn func(c *core.QueryContext) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t := &execTask{ctx: ctx, run: fn, done: make(chan error, 1)}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.m.outcomes.Record(obs.OutcomeShed)
+		return ErrClosed
+	}
+	select {
+	case e.tasks <- t:
+		e.mu.Unlock()
+		e.m.depth.Add(1)
+	default:
+		e.mu.Unlock()
+		e.m.outcomes.Record(obs.OutcomeShed)
+		return fmt.Errorf("%w: queue full", ErrShed)
+	}
+	return <-t.done
+}
+
+// SearchKNN runs a budgeted k-NN through the executor. Degraded results
+// (budget exhausted) are returned alongside their *core.ErrBudgetExceeded.
+func (e *Executor) SearchKNN(ctx context.Context, q geom.Point, k int, m dist.Metric, b core.Budget) ([]core.Neighbor, error) {
+	var out []core.Neighbor
+	err := e.Do(ctx, func(c *core.QueryContext) error {
+		ns, err := e.tree.tree.SearchKNNContext(ctx, c, q, k, m, b, nil)
+		cloneNeighbors(ns)
+		out = ns
+		return err
+	})
+	return out, err
+}
+
+// SearchBox runs a budgeted box query through the executor.
+func (e *Executor) SearchBox(ctx context.Context, q geom.Rect, b core.Budget) ([]core.Entry, error) {
+	var out []core.Entry
+	err := e.Do(ctx, func(c *core.QueryContext) error {
+		es, err := e.tree.tree.SearchBoxContext(ctx, c, q, b, nil)
+		cloneEntries(es)
+		out = es
+		return err
+	})
+	return out, err
+}
+
+// Close stops admission (subsequent Do calls return ErrClosed), lets the
+// workers drain every queued request, and waits for them to exit.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.tasks) // safe: submits hold e.mu, so no send can race the close
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	c := getCtx()
+	defer putCtx(c)
+	for t := range e.tasks {
+		e.m.depth.Add(-1)
+		// Deadline-aware shedding: a request that expired while queued
+		// never ran, so it sheds instead of charging the tree.
+		select {
+		case <-t.ctx.Done():
+			e.m.outcomes.Record(obs.OutcomeShed)
+			t.done <- fmt.Errorf("%w: %v while queued", ErrShed, t.ctx.Err())
+			continue
+		default:
+		}
+		err := e.runTask(c, t)
+		e.m.outcomes.Record(core.ClassifyOutcome(err))
+		t.done <- err
+	}
+}
+
+// runTask executes one admitted request with panic isolation: a panic in
+// the search (or in caller-supplied code) becomes that request's error and
+// the worker lives on. The tree's read lock and the query context both
+// unwind cleanly (deferred RUnlock/release in the layers below).
+func (e *Executor) runTask(c *core.QueryContext, t *execTask) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.m.panics.Inc()
+			err = fmt.Errorf("concurrent: request panicked: %v", r)
+		}
+	}()
+	return t.run(c)
+}

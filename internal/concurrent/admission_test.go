@@ -1,0 +1,244 @@
+package concurrent
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridtree/internal/core"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
+)
+
+// panicMetric panics on every distance call — the fault the panic-isolation
+// tests inject through the public search API.
+type panicMetric struct{}
+
+func (panicMetric) Name() string                     { return "panic" }
+func (panicMetric) Distance(a, b geom.Point) float64 { panic("injected metric panic") }
+func (panicMetric) MinDistRect(p geom.Point, r geom.Rect) float64 {
+	panic("injected metric panic")
+}
+
+func TestExecutorShedsWhenQueueFull(t *testing.T) {
+	tree, pts := buildTree(t, 4, 500, 512)
+	defer tree.Close()
+	// One worker, depth-1 queue, and the worker wedged on a blocking task:
+	// the queue fills deterministically.
+	e := NewExecutor(tree, ExecutorConfig{Workers: 1, QueueDepth: 1})
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wedged sync.WaitGroup
+	wedged.Add(1)
+	go func() {
+		defer wedged.Done()
+		_ = e.Do(context.Background(), func(c *core.QueryContext) error {
+			close(started)
+			<-block
+			return nil
+		})
+	}()
+	<-started
+
+	// Fill the queue (one slot), then watch the next submit shed.
+	var queued sync.WaitGroup
+	queued.Add(1)
+	go func() {
+		defer queued.Done()
+		_, _ = e.SearchKNN(context.Background(), pts[0], 5, dist.L2(), core.Budget{})
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(e.tasks) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued task never landed in the channel")
+		}
+		runtime.Gosched()
+	}
+
+	_, err := e.SearchKNN(context.Background(), pts[1], 5, dist.L2(), core.Budget{})
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+
+	close(block)
+	queued.Wait()
+	wedged.Wait()
+	e.Close()
+}
+
+func TestExecutorShedsExpiredDeadlineWhileQueued(t *testing.T) {
+	tree, pts := buildTree(t, 4, 500, 512)
+	defer tree.Close()
+	e := NewExecutor(tree, ExecutorConfig{Workers: 1, QueueDepth: 4})
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wedged sync.WaitGroup
+	wedged.Add(1)
+	go func() {
+		defer wedged.Done()
+		_ = e.Do(context.Background(), func(c *core.QueryContext) error {
+			close(started)
+			<-block
+			return nil
+		})
+	}()
+	<-started
+
+	// This request queues behind the wedge; its context is cancelled before
+	// the worker frees up, so it must shed, not run.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran bool
+	var shedErr error
+	var queued sync.WaitGroup
+	queued.Add(1)
+	go func() {
+		defer queued.Done()
+		shedErr = e.Do(ctx, func(c *core.QueryContext) error {
+			ran = true
+			return nil
+		})
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(e.tasks) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued task never landed in the channel")
+		}
+		runtime.Gosched()
+	}
+	cancel()
+	close(block)
+	queued.Wait()
+	wedged.Wait()
+	if !errors.Is(shedErr, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", shedErr)
+	}
+	if ran {
+		t.Fatal("expired request ran anyway")
+	}
+	_ = pts
+	e.Close()
+}
+
+func TestExecutorPanicIsolation(t *testing.T) {
+	tree, pts := buildTree(t, 4, 500, 512)
+	defer tree.Close()
+	e := NewExecutor(tree, ExecutorConfig{Workers: 2, QueueDepth: 4})
+	defer e.Close()
+
+	_, err := e.SearchKNN(context.Background(), pts[0], 5, panicMetric{}, core.Budget{})
+	if err == nil || errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want panic-converted error", err)
+	}
+
+	// The worker survived and the read lock was not leaked: a normal query
+	// and a mutation both still go through.
+	ns, err := e.SearchKNN(context.Background(), pts[1], 5, dist.L2(), core.Budget{})
+	if err != nil || len(ns) != 5 {
+		t.Fatalf("post-panic query: %v (%d results)", err, len(ns))
+	}
+	if err := tree.Insert(pts[0], core.RecordID(99999)); err != nil {
+		t.Fatalf("post-panic insert (write lock): %v", err)
+	}
+}
+
+func TestExecutorCloseDrains(t *testing.T) {
+	tree, pts := buildTree(t, 4, 500, 512)
+	defer tree.Close()
+	e := NewExecutor(tree, ExecutorConfig{Workers: 2, QueueDepth: 8})
+
+	const n = 16
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.SearchKNN(context.Background(), pts[i], 5, dist.L2(), core.Budget{})
+		}(i)
+	}
+	wg.Wait()
+	e.Close()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrShed) {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if err := e.Do(context.Background(), func(c *core.QueryContext) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Do: err = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	e.Close()
+}
+
+// TestExecutorNoGoroutineLeak bounds goroutine growth across executor
+// lifecycles: everything started by NewExecutor exits by Close.
+func TestExecutorNoGoroutineLeak(t *testing.T) {
+	tree, pts := buildTree(t, 4, 500, 512)
+	defer tree.Close()
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		e := NewExecutor(tree, ExecutorConfig{Workers: 4, QueueDepth: 8})
+		for i := 0; i < 8; i++ {
+			_, _ = e.SearchKNN(context.Background(), pts[i], 3, dist.L2(), core.Budget{})
+		}
+		e.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before %d, after %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+		runtime.GC()
+	}
+}
+
+func TestBatchPanicIsolation(t *testing.T) {
+	tree, pts := buildTree(t, 4, 2000, 512)
+	defer tree.Close()
+	qs := pts[:64]
+
+	// Every query panics via the metric; the batch must return an error
+	// yet leave the tree fully usable (no leaked read locks).
+	_, err := tree.SearchKNNBatch(qs, 5, panicMetric{})
+	if err == nil {
+		t.Fatal("panicking batch returned nil error")
+	}
+
+	out, err := tree.SearchKNNBatch(qs, 5, dist.L2())
+	if err != nil {
+		t.Fatalf("post-panic batch: %v", err)
+	}
+	for i, ns := range out {
+		if len(ns) != 5 {
+			t.Fatalf("slot %d: %d results", i, len(ns))
+		}
+	}
+	if err := tree.Insert(pts[0], core.RecordID(88888)); err != nil {
+		t.Fatalf("post-panic insert: %v", err)
+	}
+}
+
+func TestExecutorBudgetDegradesThroughStack(t *testing.T) {
+	tree, pts := buildTree(t, 6, 3000, 512)
+	defer tree.Close()
+	e := NewExecutor(tree, ExecutorConfig{Workers: 2, QueueDepth: 4})
+	defer e.Close()
+
+	ns, err := e.SearchKNN(context.Background(), pts[0], 10, dist.L2(), core.Budget{MaxPageReads: 3})
+	var be *core.ErrBudgetExceeded
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *core.ErrBudgetExceeded", err)
+	}
+	if len(ns) != be.Partial {
+		t.Fatalf("degraded results %d != Partial %d", len(ns), be.Partial)
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i].Dist < ns[i-1].Dist {
+			t.Fatalf("degraded results unsorted at %d", i)
+		}
+	}
+}

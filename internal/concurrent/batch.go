@@ -1,6 +1,7 @@
 package concurrent
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ func putCtx(c *core.QueryContext) { ctxPool.Put(c) }
 type batchMetrics struct {
 	batches *obs.Counter
 	queries *obs.Counter
+	panics  *obs.Counter   // queries that panicked and were isolated
 	queryNS *obs.Histogram // per-query latency inside the worker
 	waitNS  *obs.Histogram // queue wait: batch submission -> worker dequeues the item
 }
@@ -49,11 +51,26 @@ func batchObs() *batchMetrics {
 		batchMetricsVal = &batchMetrics{
 			batches: r.Counter("concurrent_batches_total"),
 			queries: r.Counter("concurrent_batch_queries_total"),
+			panics:  r.Counter("concurrent_query_panics_total"),
 			queryNS: r.Histogram("concurrent_batch_query_ns"),
 			waitNS:  r.Histogram("concurrent_batch_queue_wait_ns"),
 		}
 	})
 	return batchMetricsVal
+}
+
+// runIsolated executes one batch item, converting a panic into a per-query
+// error. The search path unwinds cleanly under panic: the query context's
+// deferred release and the tree's deferred RUnlock (see the *Locked
+// helpers) both run, so the context and the lock survive for the next item.
+func runIsolated(c *core.QueryContext, i int, do func(c *core.QueryContext, i int) error) (err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("concurrent: query %d panicked: %v", i, r)
+			panicked = true
+		}
+	}()
+	return do(c, i), false
 }
 
 // runBatch fans n work items across a bounded pool of min(GOMAXPROCS, n)
@@ -62,7 +79,9 @@ func batchObs() *batchMetrics {
 // tree's read lock independently, so writers can interleave between queries
 // of a long batch instead of starving behind it. The first error stops the
 // remaining workers (in-flight items finish); results already produced stay
-// in place and the error is returned.
+// in place and the error is returned. A panicking item is isolated: it
+// resolves to an error for its own slot, the rest of the batch keeps
+// running, and the first panic's error is reported if nothing else failed.
 func (t *Tree) runBatch(n int, do func(c *core.QueryContext, i int) error) error {
 	m := batchObs()
 	m.batches.Inc()
@@ -80,16 +99,23 @@ func (t *Tree) runBatch(n int, do func(c *core.QueryContext, i int) error) error
 			m.queryNS.Merge(&query)
 			m.waitNS.Merge(&wait)
 		}()
+		var panicErr error
 		for i := 0; i < n; i++ {
 			begin := time.Now()
 			wait.Observe(int64(begin.Sub(submitted)))
-			if err := do(c, i); err != nil {
-				query.ObserveSince(begin)
-				return err
-			}
+			err, panicked := runIsolated(c, i, do)
 			query.ObserveSince(begin)
+			if err != nil {
+				if !panicked {
+					return err
+				}
+				m.panics.Inc()
+				if panicErr == nil {
+					panicErr = err
+				}
+			}
 		}
-		return nil
+		return panicErr
 	}
 	var (
 		next     atomic.Int64
@@ -117,10 +143,14 @@ func (t *Tree) runBatch(n int, do func(c *core.QueryContext, i int) error) error
 				}
 				begin := time.Now()
 				wait.Observe(int64(begin.Sub(submitted)))
-				err := do(c, i)
+				err, panicked := runIsolated(c, i, do)
 				query.ObserveSince(begin)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
+					if panicked {
+						m.panics.Inc()
+						continue // isolated: the rest of the batch proceeds
+					}
 					failed.Store(true)
 					return
 				}
@@ -131,6 +161,27 @@ func (t *Tree) runBatch(n int, do func(c *core.QueryContext, i int) error) error
 	return firstErr
 }
 
+// knnLocked, boxLocked and rangeLocked run one search under the read lock
+// with a deferred unlock, so a panicking search (isolated by runIsolated)
+// cannot leak the lock while unwinding.
+func (t *Tree) knnLocked(c *core.QueryContext, q geom.Point, k int, m dist.Metric) ([]core.Neighbor, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tree.SearchKNNCtx(c, q, k, m, nil)
+}
+
+func (t *Tree) boxLocked(c *core.QueryContext, q geom.Rect) ([]core.Entry, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tree.SearchBoxCtx(c, q, nil)
+}
+
+func (t *Tree) rangeLocked(c *core.QueryContext, q geom.Point, radius float64, m dist.Metric) ([]core.Neighbor, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tree.SearchRangeCtx(c, q, radius, m, nil)
+}
+
 // SearchKNNBatch answers one k-NN query per element of qs, fanning the
 // batch across a bounded worker pool. out[i] corresponds to qs[i]. On
 // error, the slice holds whatever queries completed before the failure;
@@ -138,9 +189,7 @@ func (t *Tree) runBatch(n int, do func(c *core.QueryContext, i int) error) error
 func (t *Tree) SearchKNNBatch(qs []geom.Point, k int, m dist.Metric) ([][]core.Neighbor, error) {
 	out := make([][]core.Neighbor, len(qs))
 	err := t.runBatch(len(qs), func(c *core.QueryContext, i int) error {
-		t.mu.RLock()
-		ns, err := t.tree.SearchKNNCtx(c, qs[i], k, m, nil)
-		t.mu.RUnlock()
+		ns, err := t.knnLocked(c, qs[i], k, m)
 		if err != nil {
 			return err
 		}
@@ -156,9 +205,7 @@ func (t *Tree) SearchKNNBatch(qs []geom.Point, k int, m dist.Metric) ([][]core.N
 func (t *Tree) SearchBoxBatch(qs []geom.Rect) ([][]core.Entry, error) {
 	out := make([][]core.Entry, len(qs))
 	err := t.runBatch(len(qs), func(c *core.QueryContext, i int) error {
-		t.mu.RLock()
-		es, err := t.tree.SearchBoxCtx(c, qs[i], nil)
-		t.mu.RUnlock()
+		es, err := t.boxLocked(c, qs[i])
 		if err != nil {
 			return err
 		}
@@ -180,9 +227,7 @@ type RangeQuery struct {
 func (t *Tree) SearchRangeBatch(qs []RangeQuery, m dist.Metric) ([][]core.Neighbor, error) {
 	out := make([][]core.Neighbor, len(qs))
 	err := t.runBatch(len(qs), func(c *core.QueryContext, i int) error {
-		t.mu.RLock()
-		ns, err := t.tree.SearchRangeCtx(c, qs[i].Center, qs[i].Radius, m, nil)
-		t.mu.RUnlock()
+		ns, err := t.rangeLocked(c, qs[i].Center, qs[i].Radius, m)
 		if err != nil {
 			return err
 		}

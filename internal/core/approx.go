@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
 )
@@ -16,11 +18,19 @@ import (
 func (t *Tree) SearchKNNApprox(q geom.Point, k int, m dist.Metric, epsilon float64) ([]Neighbor, error) {
 	c := t.getCtx()
 	defer t.putCtx(c)
-	return t.searchKNN(c, q, k, m, epsilon, nil)
+	return t.searchKNN(nil, c, q, k, m, epsilon, Budget{}, nil)
 }
 
 // SearchKNNApproxCtx is SearchKNNApprox with caller-managed scratch state
 // and result buffer (see SearchBoxCtx).
 func (t *Tree) SearchKNNApproxCtx(c *QueryContext, q geom.Point, k int, m dist.Metric, epsilon float64, dst []Neighbor) ([]Neighbor, error) {
-	return t.searchKNN(c, q, k, m, epsilon, dst)
+	return t.searchKNN(nil, c, q, k, m, epsilon, Budget{}, dst)
+}
+
+// SearchKNNApproxContext is SearchKNNApproxCtx under a request lifecycle
+// (see SearchKNNContext): budget exhaustion degrades to best-found-so-far,
+// context abandonment returns ctx.Err() with dst unchanged past its input
+// length.
+func (t *Tree) SearchKNNApproxContext(ctx context.Context, c *QueryContext, q geom.Point, k int, m dist.Metric, epsilon float64, b Budget, dst []Neighbor) ([]Neighbor, error) {
+	return t.searchKNN(ctx, c, q, k, m, epsilon, b, dst)
 }

@@ -27,6 +27,7 @@ var opNames = [numOps]string{"box", "range", "knn"}
 type treeMetrics struct {
 	queries    [numOps]*obs.Counter
 	latency    [numOps]*obs.Histogram
+	outcomes   *obs.Outcomes
 	queryErrs  *obs.Counter
 	results    *obs.Counter
 	kdPrunes   *obs.Counter
@@ -64,6 +65,7 @@ func hybridMetrics() *treeMetrics {
 	hybridMetricsOnce.Do(func() {
 		r := obs.Default()
 		m := &treeMetrics{
+			outcomes:    obs.NewOutcomes(r, "core_query_outcomes_total"),
 			queryErrs:   r.Counter("core_query_errors_total"),
 			results:     r.Counter("core_results_total"),
 			kdPrunes:    r.Counter("core_kd_prunes_total"),
@@ -167,6 +169,7 @@ func (t *Tree) finishQuery(qc *queryCtx, op int, start time.Time, results int, e
 	if m := t.metrics; m != nil {
 		m.queries[op].Inc()
 		m.latency[op].Observe(int64(time.Since(start)))
+		m.outcomes.Record(classifyOutcome(err))
 		ta := &qc.tally
 		if ta.kdPrunes > 0 {
 			m.kdPrunes.Add(uint64(ta.kdPrunes))

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"time"
+
 	"hybridtree/internal/geom"
 	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
@@ -78,6 +81,16 @@ type queryCtx struct {
 	// query's trace, nil when tracing is off. See metrics.go.
 	tally tally
 	tr    *obs.Trace
+
+	// Request-lifecycle bounds, set by arm and consulted by checkVisit once
+	// per node visit; all zero for a plain (Background, unbudgeted) query.
+	// See request.go.
+	ctx            context.Context
+	done           <-chan struct{}
+	budgetDeadline time.Time
+	maxPages       int
+	maxPushes      int
+	visited        int
 }
 
 // acquire readies the context for one query of the given dimensionality.
@@ -98,6 +111,7 @@ func (qc *queryCtx) acquire(dim int) {
 	qc.frames = qc.frames[:0]
 	qc.pending = qc.pending[:0]
 	qc.pq.Reset()
+	qc.disarm()
 }
 
 // release marks the context idle again.

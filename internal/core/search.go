@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -52,15 +53,33 @@ func (t *Tree) SearchBox(q geom.Rect) ([]Entry, error) {
 // reuses both c and dst runs the cached-node query path without allocating.
 // On error the entries appended so far remain in the returned slice.
 func (t *Tree) SearchBoxCtx(c *QueryContext, q geom.Rect, dst []Entry) ([]Entry, error) {
+	return t.SearchBoxContext(nil, c, q, Budget{}, dst)
+}
+
+// SearchBoxContext is SearchBoxCtx under a request lifecycle: cancellation
+// and the context deadline are checked once per node visit (abandoning the
+// query returns ctx.Err() with dst unchanged past its input length), and
+// budget exhaustion returns *ErrBudgetExceeded with the entries found so far
+// kept in dst — a valid subset of the full answer. A nil ctx and zero
+// Budget run the plain unarmed path.
+func (t *Tree) SearchBoxContext(ctx context.Context, c *QueryContext, q geom.Rect, b Budget, dst []Entry) ([]Entry, error) {
 	if q.Dim() != t.cfg.Dim {
 		return dst, fmt.Errorf("core: query has dim %d, tree expects %d", q.Dim(), t.cfg.Dim)
 	}
 	qc := &c.qc
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
+	qc.arm(ctx, b)
 	_, start := t.beginQuery(qc, opBox)
 	base := len(dst)
 	dst, err := t.runBox(qc, q, dst)
+	if err != nil {
+		if isCtxErr(err) {
+			dst = dst[:base]
+		} else if be, ok := err.(*ErrBudgetExceeded); ok {
+			be.Partial = len(dst) - base
+		}
+	}
 	t.finishQuery(qc, opBox, start, len(dst)-base, err)
 	return dst, err
 }
@@ -71,6 +90,10 @@ func (t *Tree) runBox(qc *queryCtx, q geom.Rect, dst []Entry) ([]Entry, error) {
 	tr := qc.tr
 	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space), span: -1})
 	for len(pending) > 0 {
+		if err := qc.checkVisit(opBox); err != nil {
+			qc.pending = pending[:0]
+			return dst, err
+		}
 		v := pending[len(pending)-1]
 		pending = pending[:len(pending)-1]
 		qc.arena.copyOut(v.slot, qc.walk)
@@ -201,6 +224,14 @@ func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]Neigh
 // each reported neighbor costs a single square root; leaf scans abandon a
 // candidate as soon as its partial sum exceeds the squared radius.
 func (t *Tree) SearchRangeCtx(c *QueryContext, q geom.Point, radius float64, m dist.Metric, dst []Neighbor) ([]Neighbor, error) {
+	return t.SearchRangeContext(nil, c, q, radius, m, Budget{}, dst)
+}
+
+// SearchRangeContext is SearchRangeCtx under a request lifecycle (see
+// SearchBoxContext): ctx abandonment discards partial results and returns
+// ctx.Err(); budget exhaustion keeps the neighbors found so far in dst — a
+// valid subset of the full answer — and returns *ErrBudgetExceeded.
+func (t *Tree) SearchRangeContext(ctx context.Context, c *QueryContext, q geom.Point, radius float64, m dist.Metric, b Budget, dst []Neighbor) ([]Neighbor, error) {
 	if len(q) != t.cfg.Dim {
 		return dst, fmt.Errorf("core: query has dim %d, tree expects %d", len(q), t.cfg.Dim)
 	}
@@ -210,6 +241,7 @@ func (t *Tree) SearchRangeCtx(c *QueryContext, q geom.Point, radius float64, m d
 	qc := &c.qc
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
+	qc.arm(ctx, b)
 	tr, start := t.beginQuery(qc, opRange)
 	base := len(dst)
 
@@ -221,6 +253,16 @@ func (t *Tree) SearchRangeCtx(c *QueryContext, q geom.Point, radius float64, m d
 
 	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space), span: -1})
 	for len(pending) > 0 {
+		if err := qc.checkVisit(opRange); err != nil {
+			qc.pending = pending[:0]
+			if isCtxErr(err) {
+				dst = dst[:base]
+			} else if be, ok := err.(*ErrBudgetExceeded); ok {
+				be.Partial = len(dst) - base
+			}
+			t.finishQuery(qc, opRange, start, len(dst)-base, err)
+			return dst, err
+		}
 		v := pending[len(pending)-1]
 		pending = pending[:len(pending)-1]
 		qc.arena.copyOut(v.slot, qc.walk)
@@ -360,7 +402,17 @@ func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]Neighbor, error)
 // SearchKNNCtx is SearchKNN with caller-managed scratch state and result
 // buffer (see SearchBoxCtx): the k results are appended to dst.
 func (t *Tree) SearchKNNCtx(c *QueryContext, q geom.Point, k int, m dist.Metric, dst []Neighbor) ([]Neighbor, error) {
-	return t.searchKNN(c, q, k, m, 0, dst)
+	return t.searchKNN(nil, c, q, k, m, 0, Budget{}, dst)
+}
+
+// SearchKNNContext is SearchKNNCtx under a request lifecycle (see
+// SearchBoxContext). Budget exhaustion degrades rather than fails: the
+// best-found-so-far neighbors are appended to dst, sorted and with true
+// (non-squared) distances — a valid answer to a smaller effort — alongside
+// the *ErrBudgetExceeded. Context abandonment returns ctx.Err() with dst
+// unchanged past its input length.
+func (t *Tree) SearchKNNContext(ctx context.Context, c *QueryContext, q geom.Point, k int, m dist.Metric, b Budget, dst []Neighbor) ([]Neighbor, error) {
+	return t.searchKNN(ctx, c, q, k, m, 0, b, dst)
 }
 
 // searchKNN is the shared exact/(1+epsilon)-approximate best-first search;
@@ -368,7 +420,7 @@ func (t *Tree) SearchKNNCtx(c *QueryContext, q geom.Point, k int, m dist.Metric,
 // frontier priorities, pruning bounds and leaf scans all work on squared
 // distances (with partial-distance early abandonment against the current
 // k-th best) and only the k reported results pay a square root.
-func (t *Tree) searchKNN(c *QueryContext, q geom.Point, k int, m dist.Metric, epsilon float64, dst []Neighbor) ([]Neighbor, error) {
+func (t *Tree) searchKNN(ctx context.Context, c *QueryContext, q geom.Point, k int, m dist.Metric, epsilon float64, b Budget, dst []Neighbor) ([]Neighbor, error) {
 	if len(q) != t.cfg.Dim {
 		return dst, fmt.Errorf("core: query has dim %d, tree expects %d", len(q), t.cfg.Dim)
 	}
@@ -381,6 +433,7 @@ func (t *Tree) searchKNN(c *QueryContext, q geom.Point, k int, m dist.Metric, ep
 	qc := &c.qc
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
+	qc.arm(ctx, b)
 	tr, start := t.beginQuery(qc, opKNN)
 	base := len(dst)
 
@@ -397,6 +450,20 @@ func (t *Tree) searchKNN(c *QueryContext, q geom.Point, k int, m dist.Metric, ep
 	best := qc.kbest(k)
 	pq.Push(visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space), span: -1}, 0)
 	for pq.Len() > 0 {
+		if lerr := qc.checkVisit(opKNN); lerr != nil {
+			if be, ok := lerr.(*ErrBudgetExceeded); ok {
+				// Degrade to best-found-so-far: every neighbor in the
+				// collector is real, sorted and correctly ranked — it is
+				// the exact answer a smaller tree would have given.
+				prev := len(dst)
+				dst = flushKNN(best, useSq, dst)
+				be.Partial = len(dst) - prev
+				t.finishQuery(qc, opKNN, start, len(dst)-prev, lerr)
+				return dst, lerr
+			}
+			t.finishQuery(qc, opKNN, start, 0, lerr)
+			return dst, lerr
+		}
 		v, mindist := pq.Pop()
 		if best.Full() && mindist > best.Bound()*shrink {
 			break
@@ -455,6 +522,22 @@ func (t *Tree) searchKNN(c *QueryContext, q geom.Point, k int, m dist.Metric, ep
 	}
 	t.finishQuery(qc, opKNN, start, len(dst)-base, nil)
 	return dst, nil
+}
+
+// flushKNN appends the collector's neighbors to dst, closest first,
+// converting squared distances back to true ones.
+func flushKNN(best *pqueue.KBest[Neighbor], useSq bool, dst []Neighbor) []Neighbor {
+	if dst == nil {
+		dst = make([]Neighbor, 0, best.Len())
+	}
+	base := len(dst)
+	dst = best.AppendSorted(dst)
+	if useSq {
+		for i := base; i < len(dst); i++ {
+			dst[i].Dist = math.Sqrt(dst[i].Dist)
+		}
+	}
+	return dst
 }
 
 // kdWalkKNN is the k-NN intra-node kd walk: each surviving kd-leaf joins

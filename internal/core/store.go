@@ -178,17 +178,19 @@ func (s *store) rollbackUndo() {
 // commitUndo performs the frees the mutation deferred and closes the
 // scope. It deliberately returns no error: the mutation's logical effect is
 // already fully applied, so a failed Free must not be reported as a failed
-// mutation — the page merely leaks. The number of leaked pages is
-// returned for accounting.
-func (s *store) commitUndo() int {
-	leaked := 0
+// mutation — the page merely leaks. The ids of the leaked pages are
+// returned so the tree can reclaim them later (Flush retries the frees):
+// a failed Free leaves the page allocated in the file, so it can never be
+// handed out again by Allocate and a later retry is safe.
+func (s *store) commitUndo() []pagefile.PageID {
+	var leaked []pagefile.PageID
 	for _, id := range s.undo.frees {
 		sh := s.shard(id)
 		sh.mu.Lock()
 		delete(sh.m, id)
 		sh.mu.Unlock()
 		if err := s.file.Free(id); err != nil {
-			leaked++
+			leaked = append(leaked, id)
 		}
 	}
 	s.endUndo()

@@ -33,10 +33,11 @@ type Tree struct {
 	// elsLog holds first-touch ELS pre-images while a mutation is open, so
 	// rollback can restore the side table exactly.
 	elsLog elsUndo
-	// leakedPages counts pages whose deferred release failed during commit.
-	// The records they held are safe (the mutation had already detached
-	// them); only the space is lost.
-	leakedPages int
+	// leaked holds pages whose deferred release failed during commit. The
+	// records they held are safe (the mutation had already detached them);
+	// only the space is lost — and only until the next Flush, which retries
+	// the frees (see reclaimLeaked).
+	leaked []pagefile.PageID
 	// tracer produces per-query/per-mutation traces (nil = tracing off);
 	// metrics is the shared instrument bundle (nil = metrics off); mutTrace
 	// is the trace of the in-flight top-level mutation, so split and
@@ -111,9 +112,9 @@ func (t *Tree) commitMutation(m mutationScope) {
 	if m.nested {
 		return
 	}
-	t.leakedPages += t.store.commitUndo()
+	t.leaked = append(t.leaked, t.store.commitUndo()...)
 	if mt := t.metrics; mt != nil {
-		mt.leakedPages.Set(int64(t.leakedPages))
+		mt.leakedPages.Set(int64(len(t.leaked)))
 	}
 	t.endELSLog()
 }
@@ -156,18 +157,40 @@ func (t *Tree) elsDelete(id uint32) {
 
 // LeakedPages reports how many pages could not be released because their
 // deferred free failed at commit (injected storage faults). The pages hold
-// no live records; only their space is lost until the file is rebuilt.
-func (t *Tree) LeakedPages() int { return t.leakedPages }
+// no live records; their space is lost until a Flush reclaims them.
+func (t *Tree) LeakedPages() int { return len(t.leaked) }
+
+// reclaimLeaked retries the deferred frees that failed at commit. Safe at
+// any quiet point: a leaked page is still allocated in the file (its Free
+// failed), so Allocate can never have reused it, and it left the node cache
+// when the owning mutation committed.
+func (t *Tree) reclaimLeaked() {
+	if len(t.leaked) == 0 {
+		return
+	}
+	kept := t.leaked[:0]
+	for _, id := range t.leaked {
+		if err := t.file.Free(id); err != nil {
+			kept = append(kept, id)
+		}
+	}
+	t.leaked = kept
+	if mt := t.metrics; mt != nil {
+		mt.leakedPages.Set(int64(len(t.leaked)))
+	}
+}
 
 // Flush re-encodes every cached node to its page and rewrites the
 // metadata page. The decoded-node cache is authoritative (write-through,
 // never evicting), so after a period of injected write faults a clean
 // Flush makes the on-disk image match memory again — the repair step to
-// run before dropping caches.
+// run before dropping caches. Flush also retries the page frees that
+// failed at commit, so a clean Flush leaves LeakedPages at zero.
 func (t *Tree) Flush() error {
 	if err := t.store.flushAll(); err != nil {
 		return err
 	}
+	t.reclaimLeaked()
 	return t.writeMeta()
 }
 

@@ -670,17 +670,17 @@ func (t *Tree) SearchBox(q geom.Rect) ([]index.Entry, error) {
 // requires merging holey-brick fragments across sibling kd-subtrees, which
 // the paper's evaluation (insert-then-query workloads) never exercises.
 func (t *Tree) Delete(geom.Point, uint64) (bool, error) {
-	return false, index.ErrUnsupported
+	return false, fmt.Errorf("hbtree: delete: %w", index.ErrUnsupported)
 }
 
 // SearchRange implements index.Index; unsupported, as in the paper.
 func (t *Tree) SearchRange(geom.Point, float64, dist.Metric) ([]index.Neighbor, error) {
-	return nil, index.ErrUnsupported
+	return nil, fmt.Errorf("hbtree: range: %w", index.ErrUnsupported)
 }
 
 // SearchKNN implements index.Index; unsupported, as in the paper.
 func (t *Tree) SearchKNN(geom.Point, int, dist.Metric) ([]index.Neighbor, error) {
-	return nil, index.ErrUnsupported
+	return nil, fmt.Errorf("hbtree: knn: %w", index.ErrUnsupported)
 }
 
 // Stats summarizes structure, including the redundancy ratio of Table 1:

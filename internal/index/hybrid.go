@@ -1,6 +1,9 @@
 package index
 
 import (
+	"context"
+	"sync"
+
 	"hybridtree/internal/core"
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
@@ -15,6 +18,8 @@ type Hybrid struct {
 	// structure ("hybrid-vam", "hybrid-els0", ...).
 	NameOverride string
 }
+
+var _ Lifecycle = (*Hybrid)(nil)
 
 // Name implements Index.
 func (h *Hybrid) Name() string {
@@ -63,6 +68,40 @@ func (h *Hybrid) SearchKNN(q geom.Point, k int, m dist.Metric) ([]Neighbor, erro
 		return nil, err
 	}
 	return convertNeighbors(ns), nil
+}
+
+// qcPool recycles the arena-backed query contexts the lifecycle adapters
+// hand to the tree, so a harness loop doesn't re-grow the scratch buffers
+// on every budgeted query.
+var qcPool = sync.Pool{New: func() any { return core.NewQueryContext() }}
+
+// SearchBoxContext implements Lifecycle. It shadows the promoted core.Tree
+// method with the index-typed signature the harness drives.
+func (h *Hybrid) SearchBoxContext(ctx context.Context, q geom.Rect, b core.Budget) ([]Entry, error) {
+	c := qcPool.Get().(*core.QueryContext)
+	defer qcPool.Put(c)
+	es, err := h.Tree.SearchBoxContext(ctx, c, q, b, nil)
+	out := make([]Entry, len(es))
+	for i, e := range es {
+		out[i] = Entry{Point: e.Point, RID: uint64(e.RID)}
+	}
+	return out, err
+}
+
+// SearchRangeContext implements Lifecycle.
+func (h *Hybrid) SearchRangeContext(ctx context.Context, q geom.Point, radius float64, m dist.Metric, b core.Budget) ([]Neighbor, error) {
+	c := qcPool.Get().(*core.QueryContext)
+	defer qcPool.Put(c)
+	ns, err := h.Tree.SearchRangeContext(ctx, c, q, radius, m, b, nil)
+	return convertNeighbors(ns), err
+}
+
+// SearchKNNContext implements Lifecycle.
+func (h *Hybrid) SearchKNNContext(ctx context.Context, q geom.Point, k int, m dist.Metric, b core.Budget) ([]Neighbor, error) {
+	c := qcPool.Get().(*core.QueryContext)
+	defer qcPool.Put(c)
+	ns, err := h.Tree.SearchKNNContext(ctx, c, q, k, m, b, nil)
+	return convertNeighbors(ns), err
 }
 
 func convertNeighbors(ns []core.Neighbor) []Neighbor {

@@ -6,8 +6,10 @@
 package index
 
 import (
+	"context"
 	"errors"
 
+	"hybridtree/internal/core"
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
 	"hybridtree/internal/pagefile"
@@ -29,6 +31,19 @@ type Neighbor struct {
 // query type — notably the hB-tree for distance-based queries, which the
 // paper excludes from Figure 7(c,d) for exactly this reason (footnote 2).
 var ErrUnsupported = errors.New("index: query type unsupported by this access method")
+
+// Lifecycle is the optional request-lifecycle extension of Index: queries
+// that honor a context (cancellation, deadline) and a per-query resource
+// budget. Budget exhaustion degrades — the partial result is returned
+// alongside a *core.ErrBudgetExceeded — while context abandonment discards
+// partials and returns ctx.Err(). The harness type-asserts for this
+// interface and falls back to the plain methods when a method lacks it.
+type Lifecycle interface {
+	Index
+	SearchBoxContext(ctx context.Context, q geom.Rect, b core.Budget) ([]Entry, error)
+	SearchRangeContext(ctx context.Context, q geom.Point, radius float64, m dist.Metric, b core.Budget) ([]Neighbor, error)
+	SearchKNNContext(ctx context.Context, q geom.Point, k int, m dist.Metric, b core.Budget) ([]Neighbor, error)
+}
 
 // Index is a paginated multidimensional access method.
 type Index interface {

@@ -1,7 +1,6 @@
 package pagefile
 
 import (
-	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
@@ -13,7 +12,9 @@ const ChecksumOverhead = 4
 
 // ErrChecksum reports that a page's stored checksum does not match its
 // contents — the page was torn, partially written, or corrupted at rest.
-var ErrChecksum = errors.New("pagefile: page checksum mismatch")
+// It wraps ErrCorrupt so the retry layer classifies it as damage, not as a
+// transient device failure.
+var ErrChecksum = fmt.Errorf("pagefile: page checksum mismatch (%w)", ErrCorrupt)
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 

@@ -1,14 +1,9 @@
 package pagefile
 
 import (
-	"errors"
 	"math"
 	"sync/atomic"
 )
-
-// ErrInjected is the error produced by fault-injecting wrappers (FaultFile,
-// ChaosFile) when they decide an operation fails.
-var ErrInjected = errors.New("pagefile: injected fault")
 
 // FaultFile wraps a File and fails operations once a countdown of successful
 // operations is exhausted. It exists for failure-injection tests: index

@@ -1,0 +1,265 @@
+package pagefile
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// retryFixture builds mem <- fault <- retry with a fake clock: now is a
+// settable instant and backoff sleeps advance it instead of waiting.
+type retryFixture struct {
+	mem   *MemFile
+	fault *FaultFile
+	rf    *RetryFile
+	now   time.Time
+	slept time.Duration
+	buf   []byte
+	id    PageID
+}
+
+func newRetryFixture(t *testing.T, p RetryPolicy) *retryFixture {
+	t.Helper()
+	fx := &retryFixture{mem: NewMemFile(64), now: time.Unix(0, 0)}
+	id, err := fx.mem.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	fx.id = id
+	fx.buf = make([]byte, 64)
+	if err := fx.mem.WritePage(id, []byte("hello")); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	fx.fault = NewFaultFile(fx.mem, 1<<30)
+	fx.rf = NewRetryFile(fx.fault, p)
+	fx.rf.SetClock(func() time.Time { return fx.now },
+		func(d time.Duration) { fx.slept += d; fx.now = fx.now.Add(d) })
+	return fx
+}
+
+func TestRetryRecoversTransientFault(t *testing.T) {
+	fx := newRetryFixture(t, RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond})
+	// One injected failure, then healed: the first attempt fails, the retry
+	// succeeds.
+	fx.fault.SetHealAfter(1)
+	fx.fault.SetRemaining(0)
+	if err := fx.rf.ReadPage(fx.id, fx.buf); err != nil {
+		t.Fatalf("read after transient fault: %v", err)
+	}
+	if string(fx.buf[:5]) != "hello" {
+		t.Fatalf("payload = %q, want hello", fx.buf[:5])
+	}
+	if fx.slept != time.Millisecond {
+		t.Fatalf("slept %v, want 1ms (one backoff)", fx.slept)
+	}
+}
+
+func TestRetryExhaustsOnPersistentFault(t *testing.T) {
+	fx := newRetryFixture(t, RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond})
+	fx.fault.SetRemaining(0) // fail forever
+	err := fx.rf.ReadPage(fx.id, fx.buf)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("exhausted error should still classify transient: %v", err)
+	}
+	// 3 attempts => 2 backoffs: 1ms + 2ms.
+	if fx.slept != 3*time.Millisecond {
+		t.Fatalf("slept %v, want 3ms", fx.slept)
+	}
+}
+
+func TestRetryCorruptOnlyWhenEnabled(t *testing.T) {
+	mem := NewMemFile(64)
+	ck := NewChecksumFile(mem)
+	id, _ := ck.Allocate()
+	if err := ck.WritePage(id, []byte("payload")); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	// Flip one payload byte at rest: every reread fails the CRC identically.
+	raw := make([]byte, 64)
+	_ = mem.ReadPage(id, raw)
+	raw[0] ^= 0xFF
+	_ = mem.WritePage(id, raw)
+
+	buf := make([]byte, ck.PageSize())
+	attempts := 0
+	counting := &countingFile{File: ck, onRead: func() { attempts++ }}
+
+	rf := NewRetryFile(counting, RetryPolicy{MaxAttempts: 3})
+	if err := rf.ReadPage(id, buf); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("corrupt read attempted %d times with RetryCorrupt off, want 1", attempts)
+	}
+
+	attempts = 0
+	rf = NewRetryFile(counting, RetryPolicy{MaxAttempts: 3, RetryCorrupt: true})
+	if err := rf.ReadPage(id, buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("corrupt read attempted %d times with RetryCorrupt on, want 3", attempts)
+	}
+}
+
+// countingFile counts read calls that reach the wrapped file.
+type countingFile struct {
+	File
+	onRead func()
+}
+
+func (f *countingFile) ReadPage(id PageID, buf []byte) error {
+	f.onRead()
+	return f.File.ReadPage(id, buf)
+}
+
+func (f *countingFile) ReadPageSeq(id PageID, buf []byte) error {
+	f.onRead()
+	return f.File.ReadPageSeq(id, buf)
+}
+
+// TestBreakerTripShedRecover drives the satellite scenario end to end: the
+// breaker trips after N consecutive ChaosFile read faults, sheds without
+// touching storage while open, and recovers once the storage heals.
+func TestBreakerTripShedRecover(t *testing.T) {
+	const trip = 3
+	mem := NewMemFile(64)
+	id, _ := mem.Allocate()
+	_ = mem.WritePage(id, []byte("hello"))
+	chaos := NewChaosFile(mem, ChaosProfile{ReadErr: 1}, 42) // every read fails
+	fault := NewFaultFile(chaos, 1<<30)                      // heal lever for later
+	rf := NewRetryFile(fault, RetryPolicy{
+		MaxAttempts: 2,
+		TripAfter:   trip,
+		ProbeAfter:  time.Minute,
+	})
+	now := time.Unix(0, 0)
+	rf.SetClock(func() time.Time { return now }, func(time.Duration) {})
+
+	buf := make([]byte, 64)
+	for i := 0; i < trip; i++ {
+		if rf.BreakerState() != "closed" {
+			t.Fatalf("breaker %s before trip threshold (fail %d)", rf.BreakerState(), i)
+		}
+		if err := rf.ReadPage(id, buf); !errors.Is(err, ErrInjected) {
+			t.Fatalf("fail %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if rf.BreakerState() != "open" {
+		t.Fatalf("breaker %s after %d consecutive failures, want open", rf.BreakerState(), trip)
+	}
+
+	// Open state sheds fast: ErrCircuitOpen before any attempt reaches the
+	// chaos layer, well inside the probe interval.
+	injectedSoFar := chaos.Counts().ReadErrs
+	now = now.Add(time.Second) // < ProbeAfter
+	for i := 0; i < 5; i++ {
+		if err := rf.ReadPage(id, buf); !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("shed %d: err = %v, want ErrCircuitOpen", i, err)
+		}
+	}
+	if got := chaos.Counts().ReadErrs; got != injectedSoFar {
+		t.Fatalf("open breaker let %d reads reach storage", got-injectedSoFar)
+	}
+	if !IsTransient(ErrCircuitOpen) {
+		t.Fatal("ErrCircuitOpen should classify as transient")
+	}
+
+	// Past the probe interval while still broken: the half-open probe fails
+	// and the breaker re-opens for another interval.
+	now = now.Add(time.Minute)
+	if err := rf.ReadPage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("failed probe: err = %v, want ErrInjected", err)
+	}
+	if rf.BreakerState() != "open" {
+		t.Fatalf("breaker %s after failed probe, want open", rf.BreakerState())
+	}
+
+	// Heal the storage, advance past the interval: the probe succeeds and
+	// the breaker closes.
+	chaos.SetEnabled(false)
+	now = now.Add(2 * time.Minute)
+	if err := rf.ReadPage(id, buf); err != nil {
+		t.Fatalf("probe after heal: %v", err)
+	}
+	if rf.BreakerState() != "closed" {
+		t.Fatalf("breaker %s after successful probe, want closed", rf.BreakerState())
+	}
+	if string(buf[:5]) != "hello" {
+		t.Fatalf("payload = %q, want hello", buf[:5])
+	}
+}
+
+// TestBreakerRecoversAfterFaultFileHeal exercises the FaultFile heal-after-N
+// path named in the issue: burn the fuse, let the breaker trip, arm healing,
+// and verify reads flow again.
+func TestBreakerRecoversAfterFaultFileHeal(t *testing.T) {
+	mem := NewMemFile(64)
+	id, _ := mem.Allocate()
+	_ = mem.WritePage(id, []byte("hello"))
+	fault := NewFaultFile(mem, 0) // burnt from the start
+	rf := NewRetryFile(fault, RetryPolicy{MaxAttempts: 1, TripAfter: 2, ProbeAfter: time.Minute})
+	now := time.Unix(0, 0)
+	rf.SetClock(func() time.Time { return now }, func(time.Duration) {})
+
+	buf := make([]byte, 64)
+	for i := 0; i < 2; i++ {
+		if err := rf.ReadPage(id, buf); !errors.Is(err, ErrInjected) {
+			t.Fatalf("fail %d: %v", i, err)
+		}
+	}
+	if rf.BreakerState() != "open" {
+		t.Fatalf("breaker %s, want open", rf.BreakerState())
+	}
+	fault.SetHealAfter(1) // next op fails, then the file is healthy forever
+	now = now.Add(time.Minute)
+	if err := rf.ReadPage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("probe during heal burst: %v", err)
+	}
+	now = now.Add(time.Minute)
+	if err := rf.ReadPage(id, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if rf.BreakerState() != "closed" {
+		t.Fatalf("breaker %s after recovery, want closed", rf.BreakerState())
+	}
+}
+
+// TestBreakerZeroProbeNeverSheds pins the simulator-facing contract: with
+// ProbeAfter == 0 an open breaker half-opens on the very next read, so a
+// single-threaded caller is never fast-failed and results stay deterministic.
+func TestBreakerZeroProbeNeverSheds(t *testing.T) {
+	mem := NewMemFile(64)
+	id, _ := mem.Allocate()
+	_ = mem.WritePage(id, []byte("hello"))
+	fault := NewFaultFile(mem, 0)
+	rf := NewRetryFile(fault, RetryPolicy{MaxAttempts: 1, TripAfter: 1, ProbeAfter: 0})
+
+	buf := make([]byte, 64)
+	for i := 0; i < 4; i++ {
+		if err := rf.ReadPage(id, buf); !errors.Is(err, ErrInjected) {
+			t.Fatalf("read %d: err = %v, want ErrInjected (never ErrCircuitOpen)", i, err)
+		}
+	}
+	fault.SetRemaining(1 << 30)
+	if err := rf.ReadPage(id, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if rf.BreakerState() != "closed" {
+		t.Fatalf("breaker %s, want closed", rf.BreakerState())
+	}
+}
+
+func TestRetryPassesWritesThrough(t *testing.T) {
+	fx := newRetryFixture(t, RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond})
+	fx.fault.SetRemaining(0)
+	if err := fx.rf.WritePage(fx.id, []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected without retries", err)
+	}
+	if fx.slept != 0 {
+		t.Fatalf("write path slept %v, want 0 (no retry on writes)", fx.slept)
+	}
+}

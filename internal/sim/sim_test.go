@@ -3,10 +3,13 @@ package sim
 import (
 	"errors"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"hybridtree/internal/geom"
 	"hybridtree/internal/index"
+	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 	"hybridtree/internal/seqscan"
 )
@@ -117,6 +120,115 @@ func TestDigestReproducible(t *testing.T) {
 	if c.Digest == a.Digest {
 		t.Fatal("different seeds produced identical digests")
 	}
+}
+
+// TestLifecycleHeavyFaultsWithDeadlines is the acceptance run for the
+// request-lifecycle layer: heavy chaos, the retry read path, a per-query
+// page budget and per-op deadlines, all at once. It must finish with zero
+// divergences, zero leaked pages, every op resolved to exactly one outcome
+// bucket, and no goroutines left behind.
+func TestLifecycleHeavyFaultsWithDeadlines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	rep, err := Run(Config{
+		Trace:      TraceConfig{Seed: 5, Ops: 4000},
+		Indexes:    []string{"hybrid"},
+		Faults:     Profiles["heavy"],
+		CheckEvery: 500,
+		Lifecycle:  LifecycleConfig{Deadline: 2 * time.Second, BudgetPages: 16, Retry: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir := rep.Indexes[0]
+	if ir.ChaosCounts.Total() == 0 {
+		t.Fatal("heavy profile injected no faults")
+	}
+	if ir.LeakedPages != 0 {
+		t.Fatalf("%d pages leaked", ir.LeakedPages)
+	}
+	sum := 0
+	for _, n := range ir.Outcomes {
+		sum += n
+	}
+	if sum != ir.Ops {
+		t.Fatalf("outcomes sum to %d, want %d ops: %v", sum, ir.Ops, ir.Outcomes)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before %d, after %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Logf("outcomes ok/cancelled/timeout/shed/degraded/error = %v", ir.Outcomes)
+}
+
+// TestLifecycleRetryKeepsOracleAgreement pins the core retry guarantee:
+// with the retry read path configured and caches dropped periodically,
+// queries run cold through the chaotic file, transient faults are retried
+// inside the read path, and every recovered query still agrees with the
+// oracle — a clean (divergence-free) run proves retries never alter
+// results. Without a deadline the whole run is deterministic, so two runs
+// must also produce identical digests and outcome tallies.
+func TestLifecycleRetryKeepsOracleAgreement(t *testing.T) {
+	cfg := Config{
+		Trace:      TraceConfig{Seed: 13, Ops: 3000},
+		Indexes:    []string{"hybrid"},
+		Faults:     Profiles["heavy"],
+		CheckEvery: 300,
+		Lifecycle:  LifecycleConfig{Retry: true},
+	}
+	retries := obs.Default().Counter("pagefile_read_retries_total")
+	base := retries.Value()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := retries.Value() - base; got == 0 {
+		t.Fatal("no read retries fired; the retry path went unexercised")
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("retry run not deterministic: %016x != %016x", a.Digest, b.Digest)
+	}
+	if a.Indexes[0].Outcomes != b.Indexes[0].Outcomes {
+		t.Fatalf("outcome tallies differ: %v != %v", a.Indexes[0].Outcomes, b.Indexes[0].Outcomes)
+	}
+	if a.Indexes[0].LeakedPages != 0 {
+		t.Fatalf("%d pages leaked", a.Indexes[0].LeakedPages)
+	}
+}
+
+// TestLifecycleBudgetDegrades drives a page budget small enough that some
+// queries must degrade, and checks the degraded answers were verified (the
+// run is divergence-free) and actually occurred.
+func TestLifecycleBudgetDegrades(t *testing.T) {
+	rep, err := Run(Config{
+		Trace:     TraceConfig{Seed: 21, Ops: 3000},
+		Indexes:   []string{"hybrid"},
+		Lifecycle: LifecycleConfig{BudgetPages: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir := rep.Indexes[0]
+	if ir.Outcomes[obs.OutcomeDegraded] == 0 {
+		t.Fatal("page budget of 4 never degraded a query")
+	}
+	if ir.Outcomes[obs.OutcomeOK] == 0 {
+		t.Fatal("every op degraded; expected a mix")
+	}
+	sum := 0
+	for _, n := range ir.Outcomes {
+		sum += n
+	}
+	if sum != ir.Ops {
+		t.Fatalf("outcomes sum to %d, want %d ops: %v", sum, ir.Ops, ir.Outcomes)
+	}
+	t.Logf("degraded %d of %d ops", ir.Outcomes[obs.OutcomeDegraded], ir.Ops)
 }
 
 // brokenIndex silently drops the insert of one record id — the kind of
