@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hybridtree/internal/concurrent"
+	"hybridtree/internal/core"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+)
+
+// MixedTree is the interface the mixed read-write workload drives: the MVCC
+// snapshot wrapper (concurrent.Tree) and the pre-MVCC reader/writer-lock
+// baseline (RWLockedTree) both satisfy it.
+type MixedTree interface {
+	SearchBox(q geom.Rect) ([]core.Entry, error)
+	Insert(p geom.Point, rid core.RecordID) error
+}
+
+// RWLockedTree is the pre-MVCC concurrency layer preserved as a baseline:
+// searches share a reader/writer lock, mutations hold it exclusively. Under
+// a write-heavy interleaving every reader stalls behind each in-flight
+// mutation (and Go's RWMutex writer preference makes readers queue behind a
+// *waiting* writer too) — exactly the degradation the MVCC snapshot read
+// path removes, and what the mixed benchmark quantifies.
+type RWLockedTree struct {
+	mu   sync.RWMutex
+	tree *core.Tree
+}
+
+// NewRWLockedTree wraps t behind a reader/writer lock. The caller must not
+// use t directly afterwards.
+func NewRWLockedTree(t *core.Tree) *RWLockedTree { return &RWLockedTree{tree: t} }
+
+// SearchBox runs under the shared (read) lock.
+func (t *RWLockedTree) SearchBox(q geom.Rect) ([]core.Entry, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tree.SearchBox(q)
+}
+
+// Insert runs under the exclusive lock.
+func (t *RWLockedTree) Insert(p geom.Point, rid core.RecordID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tree.Insert(p, rid)
+}
+
+// MixedResult is one mixed-workload measurement. Read latencies are the
+// headline: under the RWMutex baseline they degrade with write load, under
+// MVCC snapshots they should not.
+type MixedResult struct {
+	Workers  int
+	Reads    int
+	Writes   int
+	Elapsed  time.Duration
+	ReadP50  time.Duration
+	ReadP99  time.Duration
+	ReadQPS  float64 // reads completed per second of wall clock
+	TotalQPS float64
+}
+
+// String renders the measurement for logs and EXPERIMENTS.md.
+func (r MixedResult) String() string {
+	return fmt.Sprintf("workers=%d reads=%d writes=%d elapsed=%v read_p50=%v read_p99=%v read_qps=%.0f",
+		r.Workers, r.Reads, r.Writes, r.Elapsed, r.ReadP50, r.ReadP99, r.ReadQPS)
+}
+
+// mixedOp is one slot of the deterministic operation schedule.
+type mixedOp struct {
+	write bool
+	idx   int
+}
+
+// mixedSchedule interleaves reads and writes 9:1 (every tenth operation is
+// an insert), deterministically, so both trees execute the identical
+// operation sequence.
+func mixedSchedule(reads, writes int) []mixedOp {
+	ops := make([]mixedOp, 0, reads+writes)
+	r, w := 0, 0
+	for r < reads || w < writes {
+		if w < writes && (r >= reads || (r+w)%10 == 9) {
+			ops = append(ops, mixedOp{write: true, idx: w})
+			w++
+		} else {
+			ops = append(ops, mixedOp{write: false, idx: r})
+			r++
+		}
+	}
+	return ops
+}
+
+// RunMixedWorkload drives the 90/10 read-write mix: workers goroutines pull
+// operations from a shared schedule of len(queries) box searches
+// interleaved with len(inserts) inserts (rid base+i). Reads time themselves
+// individually; the returned percentiles are over all reads of the run.
+func RunMixedWorkload(tr MixedTree, queries []geom.Rect, inserts []geom.Point, base core.RecordID, workers int) (MixedResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	ops := mixedSchedule(len(queries), len(inserts))
+	var (
+		next     int64
+		nextMu   sync.Mutex
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		latMu    sync.Mutex
+		lats     []time.Duration
+	)
+	take := func() int {
+		nextMu.Lock()
+		i := int(next)
+		next++
+		nextMu.Unlock()
+		return i
+	}
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, len(ops)/workers+1)
+			for {
+				i := take()
+				if i >= len(ops) {
+					break
+				}
+				op := ops[i]
+				if op.write {
+					if err := tr.Insert(inserts[op.idx], base+core.RecordID(op.idx)); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						break
+					}
+					continue
+				}
+				t0 := time.Now()
+				_, err := tr.SearchBox(queries[op.idx])
+				local = append(local, time.Since(t0))
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					break
+				}
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return MixedResult{}, firstErr
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	res := MixedResult{
+		Workers: workers,
+		Reads:   len(queries),
+		Writes:  len(inserts),
+		Elapsed: elapsed,
+	}
+	if n := len(lats); n > 0 {
+		res.ReadP50 = lats[n/2]
+		res.ReadP99 = lats[n*99/100]
+	}
+	if elapsed > 0 {
+		res.ReadQPS = float64(len(queries)) / elapsed.Seconds()
+		res.TotalQPS = float64(len(ops)) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// MixedFixture holds two identically built trees — MVCC snapshot wrapper
+// and RWMutex baseline — plus the deterministic mixed workload: box queries
+// and fresh insert points disjoint from the seeded records.
+type MixedFixture struct {
+	MVCC     *concurrent.Tree
+	RWLocked *RWLockedTree
+	Queries  []geom.Rect
+	Inserts  []geom.Point
+	RIDBase  core.RecordID
+	Dim      int
+}
+
+// NewMixedFixture builds n seeded records on two independent in-memory
+// trees and derives numReads box queries plus numReads/9 (rounded up)
+// insert points, giving the 90/10 mix.
+func NewMixedFixture(n, dim, numReads, pageSize int, seed int64) (*MixedFixture, error) {
+	rng := newSplitMix(uint64(seed))
+	data := make([]geom.Point, n)
+	for i := range data {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = rng.float32()
+		}
+		data[i] = p
+	}
+	build := func() (*core.Tree, error) {
+		tree, err := core.New(pagefile.NewMemFile(pageSize), core.Config{Dim: dim, PageSize: pageSize})
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range data {
+			if err := tree.Insert(p, core.RecordID(i)); err != nil {
+				return nil, fmt.Errorf("insert %d: %w", i, err)
+			}
+		}
+		return tree, nil
+	}
+	mvccTree, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("bench: build mvcc fixture: %w", err)
+	}
+	rwTree, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("bench: build rwlock fixture: %w", err)
+	}
+	f := &MixedFixture{
+		MVCC:     concurrent.Wrap(mvccTree),
+		RWLocked: NewRWLockedTree(rwTree),
+		RIDBase:  core.RecordID(n),
+		Dim:      dim,
+	}
+	for i := 0; i < numReads; i++ {
+		c := data[int(rng.next()%uint64(n))]
+		lo, hi := make(geom.Point, dim), make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			lo[d], hi[d] = c[d]-0.05, c[d]+0.05
+		}
+		f.Queries = append(f.Queries, geom.Rect{Lo: lo, Hi: hi})
+	}
+	writes := (numReads + 8) / 9
+	for i := 0; i < writes; i++ {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = rng.float32()
+		}
+		f.Inserts = append(f.Inserts, p)
+	}
+	return f, nil
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMixedWorkloadRunners smoke-tests the 90/10 runner on both wrappers
+// and pins the basic accounting: every scheduled operation executes and
+// both trees end at the same size.
+func TestMixedWorkloadRunners(t *testing.T) {
+	f, err := NewMixedFixture(3000, 8, 180, 2048, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := RunMixedWorkload(f.MVCC, f.Queries, f.Inserts, f.RIDBase, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RunMixedWorkload(f.RWLocked, f.Queries, f.Inserts, f.RIDBase, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Reads != len(f.Queries) || rm.Writes != len(f.Inserts) {
+		t.Fatalf("mvcc counts %d/%d, want %d/%d", rm.Reads, rm.Writes, len(f.Queries), len(f.Inserts))
+	}
+	if rm.ReadQPS <= 0 || rr.ReadQPS <= 0 {
+		t.Fatalf("non-positive read QPS: mvcc %v rwlock %v", rm.ReadQPS, rr.ReadQPS)
+	}
+	wantSize := 3000 + len(f.Inserts)
+	if got := f.MVCC.Size(); got != wantSize {
+		t.Fatalf("mvcc size = %d, want %d", got, wantSize)
+	}
+	if got := f.RWLocked.tree.Size(); got != wantSize {
+		t.Fatalf("rwlock size = %d, want %d", got, wantSize)
+	}
+	if err := f.MVCC.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedWorkloadGate is the CI regression gate for the MVCC read path:
+// reads running concurrently with the 10% write mix must keep a substantial
+// fraction of read-only throughput. Timing-sensitive, so it only runs when
+// MIXED_GATE=1 (CI sets it on a pinned seed); the threshold is lenient for
+// small shared runners.
+func TestMixedWorkloadGate(t *testing.T) {
+	if os.Getenv("MIXED_GATE") != "1" {
+		t.Skip("set MIXED_GATE=1 to run the mixed-workload throughput gate")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	f, err := NewMixedFixture(20000, 8, 1800, 2048, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Read-only baseline on the same tree and query set.
+	baseline, err := RunBoxThroughput(f.MVCC, f.Queries, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := RunMixedWorkload(f.MVCC, f.Queries, f.Inserts, f.RIDBase, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("read-only: %.0f qps; mixed 90/10: %s", baseline.QPS, mixed)
+
+	const gate = 0.2 // lenient: 2-core CI runners timeshare readers with the writer
+	if mixed.ReadQPS < gate*baseline.QPS {
+		t.Fatalf("reads under writes fell to %.0f qps, < %.0f%% of read-only %.0f qps",
+			mixed.ReadQPS, gate*100, baseline.QPS)
+	}
+}
+
+// BenchmarkMixed90R10W measures the 90/10 mixed workload on the MVCC
+// snapshot wrapper vs the RWMutex baseline. Read p50/p99 under write load
+// is the number the MVCC tentpole targets; see EXPERIMENTS.md.
+func BenchmarkMixed90R10W(b *testing.B) {
+	// Lock queueing is a concurrency effect, not a parallelism effect: even
+	// on one core, a reader goroutine arriving while a writer holds an
+	// RWMutex stalls until the writer finishes. Keep at least 4 workers so
+	// the baseline's blocking is visible on small runners.
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	for _, tc := range []struct {
+		name string
+		pick func(f *MixedFixture) MixedTree
+	}{
+		{"mvcc", func(f *MixedFixture) MixedTree { return f.MVCC }},
+		{"rwlock", func(f *MixedFixture) MixedTree { return f.RWLocked }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				f, err := NewMixedFixture(20000, 8, 1800, 2048, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr := tc.pick(f)
+				b.StartTimer()
+				res, err := RunMixedWorkload(tr, f.Queries, f.Inserts, f.RIDBase, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.ReadQPS, "read_qps")
+				b.ReportMetric(float64(res.ReadP50.Nanoseconds()), "read_p50_ns")
+				b.ReportMetric(float64(res.ReadP99.Nanoseconds()), "read_p99_ns")
+			}
+		})
+	}
+}

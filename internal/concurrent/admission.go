@@ -110,7 +110,8 @@ func NewExecutor(t *Tree, cfg ExecutorConfig) *Executor {
 }
 
 // Do submits fn and blocks until it resolves. fn runs on a worker goroutine
-// under the tree's read lock with a pooled QueryContext. The error is fn's
+// with a pooled QueryContext, lock-free against the MVCC snapshot its
+// search pins (it never blocks behind a writer). The error is fn's
 // own, ErrShed (queue full or deadline expired while queued), ErrClosed, or
 // a panic converted to an error.
 func (e *Executor) Do(ctx context.Context, fn func(c *core.QueryContext) error) error {
@@ -198,8 +199,8 @@ func (e *Executor) worker() {
 
 // runTask executes one admitted request with panic isolation: a panic in
 // the search (or in caller-supplied code) becomes that request's error and
-// the worker lives on. The tree's read lock and the query context both
-// unwind cleanly (deferred RUnlock/release in the layers below).
+// the worker lives on. The query context (and its snapshot pin) unwinds
+// cleanly via the deferred release in the layers below.
 func (e *Executor) runTask(c *core.QueryContext, t *execTask) (err error) {
 	defer func() {
 		if r := recover(); r != nil {

@@ -61,8 +61,8 @@ func batchObs() *batchMetrics {
 
 // runIsolated executes one batch item, converting a panic into a per-query
 // error. The search path unwinds cleanly under panic: the query context's
-// deferred release and the tree's deferred RUnlock (see the *Locked
-// helpers) both run, so the context and the lock survive for the next item.
+// deferred release (which also unpins the item's snapshot) runs, so the
+// context survives for the next item.
 func runIsolated(c *core.QueryContext, i int, do func(c *core.QueryContext, i int) error) (err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -75,9 +75,9 @@ func runIsolated(c *core.QueryContext, i int, do func(c *core.QueryContext, i in
 
 // runBatch fans n work items across a bounded pool of min(GOMAXPROCS, n)
 // workers pulling indices from a shared atomic counter. Each worker owns one
-// pooled query context for its entire slice, and each item acquires the
-// tree's read lock independently, so writers can interleave between queries
-// of a long batch instead of starving behind it. The first error stops the
+// pooled query context for its entire slice, and each item pins its own
+// MVCC snapshot independently, so writers commit between queries of a long
+// batch instead of starving behind it. The first error stops the
 // remaining workers (in-flight items finish); results already produced stay
 // in place and the error is returned. A panicking item is isolated: it
 // resolves to an error for its own slot, the rest of the batch keeps
@@ -161,27 +161,6 @@ func (t *Tree) runBatch(n int, do func(c *core.QueryContext, i int) error) error
 	return firstErr
 }
 
-// knnLocked, boxLocked and rangeLocked run one search under the read lock
-// with a deferred unlock, so a panicking search (isolated by runIsolated)
-// cannot leak the lock while unwinding.
-func (t *Tree) knnLocked(c *core.QueryContext, q geom.Point, k int, m dist.Metric) ([]core.Neighbor, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.tree.SearchKNNCtx(c, q, k, m, nil)
-}
-
-func (t *Tree) boxLocked(c *core.QueryContext, q geom.Rect) ([]core.Entry, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.tree.SearchBoxCtx(c, q, nil)
-}
-
-func (t *Tree) rangeLocked(c *core.QueryContext, q geom.Point, radius float64, m dist.Metric) ([]core.Neighbor, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.tree.SearchRangeCtx(c, q, radius, m, nil)
-}
-
 // SearchKNNBatch answers one k-NN query per element of qs, fanning the
 // batch across a bounded worker pool. out[i] corresponds to qs[i]. On
 // error, the slice holds whatever queries completed before the failure;
@@ -189,7 +168,7 @@ func (t *Tree) rangeLocked(c *core.QueryContext, q geom.Point, radius float64, m
 func (t *Tree) SearchKNNBatch(qs []geom.Point, k int, m dist.Metric) ([][]core.Neighbor, error) {
 	out := make([][]core.Neighbor, len(qs))
 	err := t.runBatch(len(qs), func(c *core.QueryContext, i int) error {
-		ns, err := t.knnLocked(c, qs[i], k, m)
+		ns, err := t.tree.SearchKNNCtx(c, qs[i], k, m, nil)
 		if err != nil {
 			return err
 		}
@@ -205,7 +184,7 @@ func (t *Tree) SearchKNNBatch(qs []geom.Point, k int, m dist.Metric) ([][]core.N
 func (t *Tree) SearchBoxBatch(qs []geom.Rect) ([][]core.Entry, error) {
 	out := make([][]core.Entry, len(qs))
 	err := t.runBatch(len(qs), func(c *core.QueryContext, i int) error {
-		es, err := t.boxLocked(c, qs[i])
+		es, err := t.tree.SearchBoxCtx(c, qs[i], nil)
 		if err != nil {
 			return err
 		}
@@ -227,7 +206,7 @@ type RangeQuery struct {
 func (t *Tree) SearchRangeBatch(qs []RangeQuery, m dist.Metric) ([][]core.Neighbor, error) {
 	out := make([][]core.Neighbor, len(qs))
 	err := t.runBatch(len(qs), func(c *core.QueryContext, i int) error {
-		ns, err := t.rangeLocked(c, qs[i].Center, qs[i].Radius, m)
+		ns, err := t.tree.SearchRangeCtx(c, qs[i].Center, qs[i].Radius, m, nil)
 		if err != nil {
 			return err
 		}

@@ -1,14 +1,16 @@
 // Package concurrent provides a goroutine-safe wrapper around the hybrid
-// tree with a truly parallel read path. The storage substrate counts
-// logical accesses atomically, the decoded-node caches are sharded, and
-// per-operation scratch buffers replaced the shared ones, so logically
-// read-only operations really are read-only. Tree exploits that with a
-// reader/writer lock: any number of SearchBox / SearchRange / SearchKNN /
-// CountBox calls run concurrently, while Insert / Delete / Update remain
-// exclusive. The paper's I/O accounting is unaffected — every logical node
-// access is still charged exactly one counter increment, and increments
-// commute — so a query batch reports byte-identical Stats whether it ran
-// serially or fanned out (see TestBatchStatsParity).
+// tree with a lock-free read path. The core tree publishes MVCC snapshots:
+// every committed mutation installs a new immutable tree version with one
+// atomic pointer swap, and each search pins the current epoch on entry and
+// traverses that version without acquiring any lock. Tree therefore only
+// synchronizes writers against each other — a single mutex serializes
+// Insert / Delete / Update / Close — while any number of SearchBox /
+// SearchRange / SearchKNN / CountBox calls run concurrently with each other
+// and with the writer, never blocking behind it. The paper's I/O accounting
+// is unaffected — every logical node access is still charged exactly one
+// counter increment, and increments commute — so a query batch reports
+// byte-identical Stats whether it ran serially or fanned out (see
+// TestBatchStatsParity).
 //
 // For query-heavy workloads, the batch executor (SearchKNNBatch,
 // SearchBoxBatch, SearchRangeBatch) fans a query slice across a bounded
@@ -26,10 +28,10 @@ import (
 	"hybridtree/internal/pagefile"
 )
 
-// Tree is a reader/writer-locked hybrid tree: searches share the lock,
-// mutations hold it exclusively.
+// Tree is a goroutine-safe hybrid tree: mutations serialize on a writer
+// mutex, searches run lock-free against MVCC snapshots.
 type Tree struct {
-	mu   sync.RWMutex
+	mu   sync.Mutex // writers only; the read path never touches it
 	tree *core.Tree
 }
 
@@ -62,7 +64,8 @@ func (t *Tree) Insert(p geom.Point, rid core.RecordID) error {
 	return t.tree.Insert(p, rid)
 }
 
-// InsertBatch inserts many entries under one lock acquisition.
+// InsertBatch inserts many entries under one writer-lock acquisition.
+// Searches still observe each insert as its own committed snapshot.
 func (t *Tree) InsertBatch(pts []geom.Point, rids []core.RecordID) error {
 	if len(pts) != len(rids) {
 		return fmt.Errorf("concurrent: %d points but %d record ids", len(pts), len(rids))
@@ -84,12 +87,14 @@ func (t *Tree) Delete(p geom.Point, rid core.RecordID) (bool, error) {
 	return t.tree.Delete(p, rid)
 }
 
-// Update atomically replaces the vector of a record: the delete and insert
-// happen under one exclusive lock, so no concurrent search observes the
-// record missing. If the re-insert fails (e.g. the new vector lies outside
-// the data space), the old vector is restored before returning, so the
-// record is never silently lost; should even the restore fail, the error
-// says so explicitly.
+// Update atomically replaces the vector of a record from the writer's point
+// of view: the delete and insert happen under one writer-lock acquisition.
+// A concurrent snapshot search may observe the intermediate version in
+// which the record is deleted but not yet re-inserted (each step commits
+// its own snapshot); it never observes a torn or duplicated record. If the
+// re-insert fails (e.g. the new vector lies outside the data space), the
+// old vector is restored before returning, so the record is never silently
+// lost; should even the restore fail, the error says so explicitly.
 func (t *Tree) Update(old, new geom.Point, rid core.RecordID) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -106,32 +111,27 @@ func (t *Tree) Update(old, new geom.Point, rid core.RecordID) (bool, error) {
 	return true, nil
 }
 
-// SearchBox is a goroutine-safe core.Tree.SearchBox; it runs concurrently
-// with other searches. Returned points are cloned so they remain valid
-// after the lock is released.
+// SearchBox is a goroutine-safe core.Tree.SearchBox; it runs lock-free
+// against the snapshot current at entry, concurrently with other searches
+// and with writers. Returned points are cloned so they remain valid after
+// later commits retire the snapshot.
 func (t *Tree) SearchBox(q geom.Rect) ([]core.Entry, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	es, err := t.tree.SearchBox(q)
 	cloneEntries(es)
 	return es, err
 }
 
-// SearchRange is a goroutine-safe core.Tree.SearchRange; it runs
-// concurrently with other searches.
+// SearchRange is a goroutine-safe core.Tree.SearchRange; it runs lock-free
+// against the snapshot current at entry.
 func (t *Tree) SearchRange(q geom.Point, radius float64, m dist.Metric) ([]core.Neighbor, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	ns, err := t.tree.SearchRange(q, radius, m)
 	cloneNeighbors(ns)
 	return ns, err
 }
 
-// SearchKNN is a goroutine-safe core.Tree.SearchKNN; it runs concurrently
-// with other searches.
+// SearchKNN is a goroutine-safe core.Tree.SearchKNN; it runs lock-free
+// against the snapshot current at entry.
 func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]core.Neighbor, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	ns, err := t.tree.SearchKNN(q, k, m)
 	cloneNeighbors(ns)
 	return ns, err
@@ -143,8 +143,6 @@ func (t *Tree) SearchKNN(q geom.Point, k int, m dist.Metric) ([]core.Neighbor, e
 func (t *Tree) SearchKNNContext(ctx context.Context, q geom.Point, k int, m dist.Metric, b core.Budget) ([]core.Neighbor, error) {
 	c := getCtx()
 	defer putCtx(c)
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	ns, err := t.tree.SearchKNNContext(ctx, c, q, k, m, b, nil)
 	cloneNeighbors(ns)
 	return ns, err
@@ -154,8 +152,6 @@ func (t *Tree) SearchKNNContext(ctx context.Context, q geom.Point, k int, m dist
 func (t *Tree) SearchBoxContext(ctx context.Context, q geom.Rect, b core.Budget) ([]core.Entry, error) {
 	c := getCtx()
 	defer putCtx(c)
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	es, err := t.tree.SearchBoxContext(ctx, c, q, b, nil)
 	cloneEntries(es)
 	return es, err
@@ -165,18 +161,14 @@ func (t *Tree) SearchBoxContext(ctx context.Context, q geom.Rect, b core.Budget)
 func (t *Tree) SearchRangeContext(ctx context.Context, q geom.Point, radius float64, m dist.Metric, b core.Budget) ([]core.Neighbor, error) {
 	c := getCtx()
 	defer putCtx(c)
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	ns, err := t.tree.SearchRangeContext(ctx, c, q, radius, m, b, nil)
 	cloneNeighbors(ns)
 	return ns, err
 }
 
-// CountBox is a goroutine-safe core.Tree.CountBox; it runs concurrently
-// with other searches.
+// CountBox is a goroutine-safe core.Tree.CountBox; it runs lock-free
+// against the snapshot current at entry.
 func (t *Tree) CountBox(q geom.Rect) (int, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	return t.tree.CountBox(q)
 }
 
@@ -185,31 +177,41 @@ func (t *Tree) CountBox(q geom.Rect) (int, error) {
 // while queries may be in flight.
 func (t *Tree) File() pagefile.File { return t.tree.File() }
 
-// Size returns the number of stored records.
+// Size returns the number of records in the current published snapshot.
 func (t *Tree) Size() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.tree.Size()
+	_, size, _ := t.tree.SnapshotInfo()
+	return size
+}
+
+// SnapshotInfo returns the published snapshot's commit epoch, record count
+// and height — one consistent atomic read, safe concurrently with writers.
+func (t *Tree) SnapshotInfo() (epoch uint64, size, height int) {
+	return t.tree.SnapshotInfo()
+}
+
+// Stats computes structural statistics from a pinned snapshot: it runs
+// concurrently with searches and writers, never blocking either, and sees
+// one consistent committed version.
+func (t *Tree) Stats() (core.TreeStats, error) {
+	return t.tree.StatsSnapshot()
 }
 
 // DropCaches discards the decoded-node caches so subsequent reads go back
-// to the page file (cold-query measurements). The sharded cache is
-// internally synchronized, so this shares the read lock and may run
-// concurrently with searches: an in-flight search simply re-reads the
-// pages it needs.
+// to the page file (cold-query measurements). It takes the writer lock:
+// cache eviction shares the version table with committing writers. Pinned
+// in-flight searches are unaffected — multi-version chains they may need
+// survive the drop, and evicted pages are re-read on demand.
 func (t *Tree) DropCaches() {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.tree.DropCaches()
 }
 
-// CheckInvariants runs the structural audit. It takes the exclusive lock:
-// the audit saves and restores the access counters around its walk, which
-// would corrupt counts charged by concurrent readers.
+// CheckInvariants runs the structural audit against a pinned snapshot. It
+// needs no lock: the audited version is immutable, and the walk charges no
+// access counters that a concurrent reader could observe.
 func (t *Tree) CheckInvariants() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.tree.CheckInvariants()
+	return t.tree.CheckInvariantsSnapshot()
 }
 
 // Close flushes metadata.

@@ -26,16 +26,70 @@ type TreeStats struct {
 	ELSBytes        int
 }
 
+// auditView is one consistent view of the tree for a structural walk: a node
+// getter, a live-space lookup and the header fields, either the writer's
+// current state (Stats, CheckInvariants) or a pinned MVCC snapshot
+// (StatsSnapshot, CheckInvariantsSnapshot).
+type auditView struct {
+	get      func(id pagefile.PageID) (*node, error)
+	elsGet   func(id uint32, outer geom.Rect) (geom.Rect, bool)
+	root     pagefile.PageID
+	height   int
+	size     int
+	elsBytes int
+}
+
+// writerView is the writer-side view. Callers must hold the writer role (or
+// know no writer is active): it reads the unpublished header fields.
+func (t *Tree) writerView() auditView {
+	return auditView{
+		get:      t.store.get,
+		elsGet:   t.els.Get,
+		root:     t.root,
+		height:   t.height,
+		size:     t.size,
+		elsBytes: t.els.MemoryBytes(),
+	}
+}
+
+// snapshotView is the view of the pinned version ver: every page resolves
+// through the version chains at ver.epoch without touching access counters.
+func (t *Tree) snapshotView(ver *treeVersion) auditView {
+	return auditView{
+		get:      func(id pagefile.PageID) (*node, error) { return t.store.getAudit(id, ver.epoch) },
+		elsGet:   ver.els.Get,
+		root:     ver.root,
+		height:   ver.height,
+		size:     ver.size,
+		elsBytes: ver.els.MemoryBytes(),
+	}
+}
+
 // Stats walks the tree and computes structural statistics. It does not
 // perturb access counters: callers should snapshot/reset pagefile stats
-// around it if they are mid-measurement.
+// around it if they are mid-measurement. Like mutations it belongs to the
+// writer role; concurrent readers should use StatsSnapshot.
 func (t *Tree) Stats() (TreeStats, error) {
 	saved := *t.file.Stats()
 	defer func() { *t.file.Stats() = saved }()
 	savedObs := t.store.pauseObs()
 	defer t.store.resumeObs(savedObs)
+	return t.statsOver(t.writerView())
+}
 
-	st := TreeStats{Height: t.height, ELSBytes: t.els.MemoryBytes(), MinDataFill: 1}
+// StatsSnapshot computes the same statistics from a pinned MVCC snapshot:
+// it never blocks a concurrent writer and never sees a half-applied
+// mutation. Physical reads for uncached pages still hit the page file (and
+// its counters), so mid-measurement callers should prefer a warm cache.
+func (t *Tree) StatsSnapshot() (TreeStats, error) {
+	sl, _ := t.store.pin()
+	defer t.store.unpin(sl)
+	ver := t.current.Load()
+	return t.statsOver(t.snapshotView(ver))
+}
+
+func (t *Tree) statsOver(v auditView) (TreeStats, error) {
+	st := TreeStats{Height: v.height, ELSBytes: v.elsBytes, MinDataFill: 1}
 	dimsUsed := make(map[uint16]bool)
 	var kdInternal, kdOverlapping int
 	var fanoutSum int
@@ -43,7 +97,7 @@ func (t *Tree) Stats() (TreeStats, error) {
 
 	var walk func(id pagefile.PageID, br geom.Rect) error
 	walk = func(id pagefile.PageID, br geom.Rect) error {
-		n, err := t.store.get(id)
+		n, err := v.get(id)
 		if err != nil {
 			return err
 		}
@@ -93,7 +147,7 @@ func (t *Tree) Stats() (TreeStats, error) {
 		}
 		return nil
 	}
-	if err := walk(t.root, t.cfg.Space); err != nil {
+	if err := walk(v.root, t.cfg.Space); err != nil {
 		return TreeStats{}, err
 	}
 	if st.IndexNodes > 0 {
@@ -123,19 +177,36 @@ func (t *Tree) Stats() (TreeStats, error) {
 //  4. non-root data nodes respect capacity; all data nodes fit their page;
 //  5. every level is reachable at a consistent height;
 //  6. the entry count equals Size().
+//
+// Like Stats it reads the writer-side state; concurrent readers should use
+// CheckInvariantsSnapshot.
 func (t *Tree) CheckInvariants() error {
 	saved := *t.file.Stats()
 	defer func() { *t.file.Stats() = saved }()
 	savedObs := t.store.pauseObs()
 	defer t.store.resumeObs(savedObs)
+	return t.checkInvariantsOver(t.writerView())
+}
 
+// CheckInvariantsSnapshot verifies the same invariants against a pinned MVCC
+// snapshot, so an audit can run concurrently with a writer and still see one
+// consistent version: a committed tree must satisfy every invariant at every
+// published epoch.
+func (t *Tree) CheckInvariantsSnapshot() error {
+	sl, _ := t.store.pin()
+	defer t.store.unpin(sl)
+	ver := t.current.Load()
+	return t.checkInvariantsOver(t.snapshotView(ver))
+}
+
+func (t *Tree) checkInvariantsOver(v auditView) error {
 	entries := 0
 	var walk func(id pagefile.PageID, br geom.Rect, level int) (geom.Rect, error)
 	walk = func(id pagefile.PageID, br geom.Rect, level int) (geom.Rect, error) {
 		if !t.cfg.Space.ContainsRect(br) {
 			return geom.Rect{}, fmt.Errorf("node %d: mapped BR %v escapes data space", id, br)
 		}
-		n, err := t.store.get(id)
+		n, err := v.get(id)
 		if err != nil {
 			return geom.Rect{}, err
 		}
@@ -175,22 +246,27 @@ func (t *Tree) CheckInvariants() error {
 				live.EnlargeRect(childLive)
 			}
 		}
-		if dec, ok := t.els.Get(uint32(id), t.cfg.Space); ok && !live.IsEmpty() {
+		if dec, ok := v.elsGet(uint32(id), t.cfg.Space); ok && !live.IsEmpty() {
 			if !dec.ContainsRect(live) {
 				return geom.Rect{}, fmt.Errorf("node %d: decoded live rect %v misses true live rect %v", id, dec, live)
 			}
 		}
 		return live, nil
 	}
-	if _, err := walk(t.root, t.cfg.Space, t.height); err != nil {
+	if _, err := walk(v.root, t.cfg.Space, v.height); err != nil {
 		return err
 	}
-	if entries != t.size {
-		return fmt.Errorf("entry count %d != Size() %d", entries, t.size)
+	if entries != v.size {
+		return fmt.Errorf("entry count %d != Size() %d", entries, v.size)
 	}
 	return nil
 }
 
 // DropCaches discards decoded-node caches so subsequent operations exercise
-// the full page decode path (used by durability tests).
-func (t *Tree) DropCaches() { t.store.dropCache() }
+// the full page decode path (used by durability tests). Retired versions
+// whose epochs have drained are reclaimed first; version chains still
+// pinned by in-flight readers survive the drop.
+func (t *Tree) DropCaches() {
+	t.store.reclaimRetired()
+	t.store.dropCache()
+}

@@ -64,6 +64,7 @@ func BulkLoad(file pagefile.File, cfg Config, pts []geom.Point, rids []RecordID)
 		}
 		t.root = root.id
 		t.height = 1
+		t.publishNow()
 		return t, t.writeMeta()
 	}
 
@@ -88,6 +89,7 @@ func BulkLoad(file pagefile.File, cfg Config, pts []geom.Point, rids []RecordID)
 			return nil, err
 		}
 	}
+	t.publishNow()
 	return t, t.writeMeta()
 }
 

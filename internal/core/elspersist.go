@@ -120,7 +120,7 @@ func (t *Tree) loadELS(head pagefile.PageID) (bool, error) {
 			id := binary.LittleEndian.Uint32(buf[off:])
 			enc := make(els.Encoded, encSize)
 			copy(enc, buf[off+4:off+4+encSize])
-			t.els.Restore(id, enc)
+			t.els.Restore(id, enc, t.cfg.Space)
 			off += recSize
 		}
 		page = next

@@ -63,6 +63,7 @@ func (t *Tree) ExplainBox(q geom.Rect) ([]Entry, *Explanation, error) {
 	qc := &c.qc
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
+	ver := t.pinCtx(qc)
 
 	qc.tally = tally{}
 	tr := obs.NewTrace("box")
@@ -70,7 +71,7 @@ func (t *Tree) ExplainBox(q geom.Rect) ([]Entry, *Explanation, error) {
 	out, err := t.runBox(qc, q, nil)
 	t.finishQuery(qc, opBox, tr.Start, len(out), err)
 
-	ex := explanationFromTrace(tr, t.height)
+	ex := explanationFromTrace(tr, ver.height)
 	ex.Results = len(out)
 	return out, ex, err
 }

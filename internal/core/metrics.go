@@ -48,6 +48,15 @@ type treeMetrics struct {
 	rollbacks   *obs.Counter
 	leakedPages *obs.Gauge
 
+	// MVCC snapshot-read instruments: the published commit epoch, the
+	// number of superseded node versions awaiting epoch reclamation, the
+	// number of currently pinned readers, and how long readers hold their
+	// pins (long pins delay reclamation).
+	mvccEpoch   *obs.Gauge
+	mvccRetired *obs.Gauge
+	mvccPins    *obs.Gauge
+	mvccPinNs   *obs.Histogram
+
 	// unifiedPrunes mirrors the sum of kd/ELS/dist prunes into the
 	// cross-method index_prunes_total{method="hybrid"} counter so the
 	// per-method comparison table sees the hybrid too.
@@ -84,6 +93,10 @@ func hybridMetrics() *treeMetrics {
 			reinserts:   r.Counter("core_reinserts_total"),
 			rollbacks:   r.Counter("core_rollbacks_total"),
 			leakedPages: r.Gauge("core_leaked_pages"),
+			mvccEpoch:   r.Gauge("core_mvcc_epoch"),
+			mvccRetired: r.Gauge("core_mvcc_retired_versions"),
+			mvccPins:    r.Gauge("core_mvcc_active_pins"),
+			mvccPinNs:   r.Histogram("core_mvcc_pin_ns"),
 
 			unifiedPrunes: obs.PruneCounter(r, "hybrid"),
 		}

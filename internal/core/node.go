@@ -45,6 +45,23 @@ type node struct {
 	kdRoot int32
 }
 
+// clone returns a private copy the writer may mutate freely. One level
+// deep is a complete copy: the tree never element-mutates points (they are
+// replaced wholesale), and rids/kd are value slices.
+func (n *node) clone() *node {
+	c := &node{id: n.id, leaf: n.leaf, kdRoot: n.kdRoot}
+	if n.pts != nil {
+		c.pts = append([]geom.Point(nil), n.pts...)
+	}
+	if n.rids != nil {
+		c.rids = append([]RecordID(nil), n.rids...)
+	}
+	if n.kd != nil {
+		c.kd = append([]kdNode(nil), n.kd...)
+	}
+	return c
+}
+
 // numChildren returns the number of children (kd leaves) of an index node.
 func (n *node) numChildren() int {
 	if n.leaf {

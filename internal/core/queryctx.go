@@ -76,6 +76,16 @@ type queryCtx struct {
 	scratch geom.Rect
 	coords  []float32
 
+	// MVCC snapshot state: ver is the pinned tree version this query
+	// traverses, pin the reader-pin slot keeping its node versions alive.
+	// pinStart/pinObs/pinGauge carry the pin-duration instrumentation when
+	// metrics are on. Set by Tree.pinCtx, cleared by release.
+	ver      *treeVersion
+	pin      *pinSlot
+	pinStart time.Time
+	pinObs   *obs.Histogram
+	pinGauge *obs.Gauge
+
 	// tally accumulates this query's traversal counts as plain ints
 	// (flushed to shared atomic counters once per query); tr is the
 	// query's trace, nil when tracing is off. See metrics.go.
@@ -114,8 +124,42 @@ func (qc *queryCtx) acquire(dim int) {
 	qc.disarm()
 }
 
-// release marks the context idle again.
-func (qc *queryCtx) release() { qc.busy = false }
+// pinCtx pins the current snapshot into qc: it claims a reader-pin slot
+// first and loads the published tree version second — that order, against
+// the committing writer's publish-then-scan, is what makes reclamation safe
+// (see store.pin). Zero locks, zero allocations.
+func (t *Tree) pinCtx(qc *queryCtx) *treeVersion {
+	sl, _ := t.store.pin()
+	qc.pin = sl
+	v := t.current.Load()
+	qc.ver = v
+	if m := t.metrics; m != nil {
+		m.mvccPins.Add(1)
+		qc.pinGauge = m.mvccPins
+		qc.pinObs = m.mvccPinNs
+		qc.pinStart = time.Now()
+	}
+	return v
+}
+
+// release unpins the context's snapshot (letting its epoch drain) and marks
+// the context idle again.
+func (qc *queryCtx) release() {
+	if qc.pin != nil {
+		qc.pin.v.Store(0)
+		qc.pin = nil
+		if qc.pinGauge != nil {
+			qc.pinGauge.Add(-1)
+			qc.pinGauge = nil
+		}
+		if qc.pinObs != nil {
+			qc.pinObs.Observe(int64(time.Since(qc.pinStart)))
+			qc.pinObs = nil
+		}
+	}
+	qc.ver = nil
+	qc.busy = false
+}
 
 // kbest returns the context's k-best collector, reset for a fresh query;
 // the collector is rebuilt only when k changes.

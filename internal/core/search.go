@@ -69,6 +69,7 @@ func (t *Tree) SearchBoxContext(ctx context.Context, c *QueryContext, q geom.Rec
 	qc := &c.qc
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
+	t.pinCtx(qc)
 	qc.arm(ctx, b)
 	_, start := t.beginQuery(qc, opBox)
 	base := len(dst)
@@ -88,7 +89,7 @@ func (t *Tree) SearchBoxContext(ctx context.Context, c *QueryContext, q geom.Rec
 // ExplainBox (which supplies its own trace via qc.tr).
 func (t *Tree) runBox(qc *queryCtx, q geom.Rect, dst []Entry) ([]Entry, error) {
 	tr := qc.tr
-	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space), span: -1})
+	pending := append(qc.pending, visitRef{child: qc.ver.root, slot: qc.arena.put(t.cfg.Space), span: -1})
 	for len(pending) > 0 {
 		if err := qc.checkVisit(opBox); err != nil {
 			qc.pending = pending[:0]
@@ -98,7 +99,7 @@ func (t *Tree) runBox(qc *queryCtx, q geom.Rect, dst []Entry) ([]Entry, error) {
 		pending = pending[:len(pending)-1]
 		qc.arena.copyOut(v.slot, qc.walk)
 		qc.arena.release(v.slot)
-		n, hit, err := t.store.getq(v.child)
+		n, hit, err := t.store.getq(v.child, qc.ver.epoch)
 		if err != nil {
 			qc.pending = pending[:0]
 			return dst, err
@@ -135,7 +136,7 @@ func (t *Tree) runBox(qc *queryCtx, q geom.Rect, dst []Entry) ([]Entry, error) {
 func (t *Tree) kdWalkBox(qc *queryCtx, n *node, q geom.Rect, span int32, pending []visitRef) []visitRef {
 	br := qc.walk
 	tr := qc.tr
-	kd, els, space := n.kd, t.els, t.cfg.Space
+	kd, els, space := n.kd, qc.ver.els, t.cfg.Space
 	st := append(qc.frames, kdFrame{idx: n.kdRoot})
 	for len(st) > 0 {
 		f := &st[len(st)-1]
@@ -241,6 +242,7 @@ func (t *Tree) SearchRangeContext(ctx context.Context, c *QueryContext, q geom.P
 	qc := &c.qc
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
+	t.pinCtx(qc)
 	qc.arm(ctx, b)
 	tr, start := t.beginQuery(qc, opRange)
 	base := len(dst)
@@ -251,7 +253,7 @@ func (t *Tree) SearchRangeContext(ctx context.Context, c *QueryContext, q geom.P
 		bound = radius * radius
 	}
 
-	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space), span: -1})
+	pending := append(qc.pending, visitRef{child: qc.ver.root, slot: qc.arena.put(t.cfg.Space), span: -1})
 	for len(pending) > 0 {
 		if err := qc.checkVisit(opRange); err != nil {
 			qc.pending = pending[:0]
@@ -267,7 +269,7 @@ func (t *Tree) SearchRangeContext(ctx context.Context, c *QueryContext, q geom.P
 		pending = pending[:len(pending)-1]
 		qc.arena.copyOut(v.slot, qc.walk)
 		qc.arena.release(v.slot)
-		n, hit, err := t.store.getq(v.child)
+		n, hit, err := t.store.getq(v.child, qc.ver.epoch)
 		if err != nil {
 			qc.pending = pending[:0]
 			t.finishQuery(qc, opRange, start, len(dst)-base, err)
@@ -314,7 +316,7 @@ func (t *Tree) SearchRangeContext(ctx context.Context, c *QueryContext, q geom.P
 func (t *Tree) kdWalkDist(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sqm dist.SquaredMetric, useSq bool, bound float64, span int32, pending []visitRef) []visitRef {
 	br := qc.walk
 	tr := qc.tr
-	kd, els, space := n.kd, t.els, t.cfg.Space
+	kd, els, space := n.kd, qc.ver.els, t.cfg.Space
 	st := append(qc.frames, kdFrame{idx: n.kdRoot})
 	for len(st) > 0 {
 		f := &st[len(st)-1]
@@ -433,6 +435,7 @@ func (t *Tree) searchKNN(ctx context.Context, c *QueryContext, q geom.Point, k i
 	qc := &c.qc
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
+	t.pinCtx(qc)
 	qc.arm(ctx, b)
 	tr, start := t.beginQuery(qc, opKNN)
 	base := len(dst)
@@ -448,7 +451,7 @@ func (t *Tree) searchKNN(ctx context.Context, c *QueryContext, q geom.Point, k i
 
 	pq := &qc.pq
 	best := qc.kbest(k)
-	pq.Push(visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space), span: -1}, 0)
+	pq.Push(visitRef{child: qc.ver.root, slot: qc.arena.put(t.cfg.Space), span: -1}, 0)
 	for pq.Len() > 0 {
 		if lerr := qc.checkVisit(opKNN); lerr != nil {
 			if be, ok := lerr.(*ErrBudgetExceeded); ok {
@@ -470,7 +473,7 @@ func (t *Tree) searchKNN(ctx context.Context, c *QueryContext, q geom.Point, k i
 		}
 		qc.arena.copyOut(v.slot, qc.walk)
 		qc.arena.release(v.slot)
-		n, hit, err := t.store.getq(v.child)
+		n, hit, err := t.store.getq(v.child, qc.ver.epoch)
 		if err != nil {
 			t.finishQuery(qc, opKNN, start, 0, err)
 			return dst, err
@@ -546,7 +549,7 @@ func flushKNN(best *pqueue.KBest[Neighbor], useSq bool, dst []Neighbor) []Neighb
 func (t *Tree) kdWalkKNN(qc *queryCtx, n *node, q geom.Point, m dist.Metric, sqm dist.SquaredMetric, useSq bool, best *pqueue.KBest[Neighbor], shrink float64, span int32) {
 	br := qc.walk
 	tr := qc.tr
-	kd, els, space := n.kd, t.els, t.cfg.Space
+	kd, els, space := n.kd, qc.ver.els, t.cfg.Space
 	st := append(qc.frames, kdFrame{idx: n.kdRoot})
 	for len(st) > 0 {
 		f := &st[len(st)-1]

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hybridtree/internal/els"
 	"hybridtree/internal/geom"
@@ -11,9 +12,12 @@ import (
 	"hybridtree/internal/pagefile"
 )
 
-// Tree is a hybrid tree index over a page file. It is not safe for
-// concurrent use; callers wanting concurrency wrap it with their own lock,
-// as they would a B-tree in the same style of storage engine.
+// Tree is a hybrid tree index over a page file. Mutations require external
+// serialization (one writer at a time), but searches are MVCC snapshot
+// reads: any number of goroutines may search concurrently with each other
+// and with the single writer, with zero lock acquisitions on the read path.
+// Each search pins the current epoch on entry and traverses the immutable
+// version of the tree published by the last commit.
 type Tree struct {
 	cfg    Config
 	file   pagefile.File
@@ -23,6 +27,9 @@ type Tree struct {
 	root   pagefile.PageID
 	height int // 1 = root is a data node
 	size   int // number of stored records
+	// current is the published tree version searches traverse. Writers
+	// replace it with a single atomic store at commit.
+	current atomic.Pointer[treeVersion]
 	// elsHead is the page chain holding the persisted ELS snapshot
 	// (InvalidPage when none has been written).
 	elsHead pagefile.PageID
@@ -30,9 +37,6 @@ type Tree struct {
 	// methods; see queryctx.go. Safe for the concurrent read path: pooled
 	// contexts are exclusive to one search at a time by construction.
 	qcPool sync.Pool
-	// elsLog holds first-touch ELS pre-images while a mutation is open, so
-	// rollback can restore the side table exactly.
-	elsLog elsUndo
 	// leaked holds pages whose deferred release failed during commit. The
 	// records they held are safe (the mutation had already detached them);
 	// only the space is lost — and only until the next Flush, which retries
@@ -48,21 +52,34 @@ type Tree struct {
 	mutTrace *obs.Trace
 }
 
-// elsPre is the pre-image of one ELS entry: its encoding, or its absence.
-type elsPre struct {
-	enc     els.Encoded
-	present bool
+// treeVersion is one published, immutable version of the tree: the header
+// fields a search needs plus the ELS snapshot, all consistent at .epoch.
+// Readers load it with one atomic pointer load and then resolve every page
+// through the store's version chains at this epoch.
+type treeVersion struct {
+	epoch  uint64
+	root   pagefile.PageID
+	height int
+	size   int
+	els    *els.Snap
 }
 
-type elsUndo struct {
-	active bool
-	prev   map[uint32]elsPre
-	order  []uint32
+// publishNow publishes the tree's current writer-side state as the visible
+// version without advancing the epoch — for construction-time paths (New,
+// Open, BulkLoad, ELS rebuilds) that run before or between mutations.
+func (t *Tree) publishNow() {
+	t.current.Store(&treeVersion{
+		epoch:  t.store.epoch.Load(),
+		root:   t.root,
+		height: t.height,
+		size:   t.size,
+		els:    t.els.Publish(),
+	})
 }
 
 // mutationScope captures the Tree-level state a rollback must restore.
 // Nested scopes (Delete's orphan reinsertion calling Insert) are no-ops:
-// the outermost scope owns the undo log.
+// the outermost scope owns the copy-on-write set.
 type mutationScope struct {
 	root   pagefile.PageID
 	height int
@@ -70,89 +87,117 @@ type mutationScope struct {
 	nested bool
 }
 
-// beginMutation opens an undo scope covering the store, the ELS table and
-// the Tree's own header fields. Every public mutation wraps itself in one
-// so that a failed operation — including one that fails partway through a
-// node split or an orphan reinsertion — leaves the tree exactly as it was.
+// beginMutation opens a copy-on-write scope covering the store, the ELS
+// table and the Tree's own header fields. Every public mutation wraps
+// itself in one so that a failed operation — including one that fails
+// partway through a node split or an orphan reinsertion — leaves the tree
+// exactly as it was, while concurrent snapshot readers never observe the
+// scope at all: its effects become visible only at commitMutation's
+// version publication.
 func (t *Tree) beginMutation() mutationScope {
-	if t.store.undoActive() {
+	if t.store.mutActive() {
 		return mutationScope{nested: true}
 	}
-	t.store.beginUndo()
-	t.elsLog.active = true
-	t.elsLog.prev = make(map[uint32]elsPre)
-	t.elsLog.order = t.elsLog.order[:0]
+	t.store.beginMut()
 	return mutationScope{root: t.root, height: t.height, size: t.size}
 }
 
-// rollbackMutation restores the pre-mutation state after an error.
+// rollbackMutation restores the pre-mutation state after an error. Shared
+// in-memory state was never touched (the mutation worked on private
+// clones), so this only discards the private set, repairs the eagerly
+// written disk pages, and rewinds the ELS table to the published snapshot.
 func (t *Tree) rollbackMutation(m mutationScope) {
 	if m.nested {
 		return
 	}
-	t.store.rollbackUndo()
-	for _, id := range t.elsLog.order {
-		pre := t.elsLog.prev[id]
-		if pre.present {
-			t.els.Restore(id, pre.enc)
-		} else {
-			t.els.Delete(id)
-		}
+	t.store.rollbackMut()
+	if cur := t.current.Load(); cur != nil {
+		t.els.ResetTo(cur.els)
 	}
-	t.endELSLog()
 	t.root, t.height, t.size = m.root, m.height, m.size
 }
 
-// commitMutation closes the scope and performs the deferred page frees. It
-// deliberately returns nothing: the mutation's logical effect is fully
-// applied by now, and reporting a failed deferred free as a failed
-// mutation would make callers treat a committed change as a no-op. Failed
-// frees only leak space, which LeakedPages exposes.
+// commitMutation publishes the mutation: every dirty node version is linked
+// into its page chain at the next epoch, the new tree version becomes
+// visible with a single atomic store, the epoch advances, and retired node
+// versions whose epoch has drained are reclaimed. It also performs the
+// deferred page frees; it deliberately returns nothing, because the
+// mutation's logical effect is fully applied by now and reporting a failed
+// deferred free as a failed mutation would make callers treat a committed
+// change as a no-op. Failed frees only leak space, which LeakedPages
+// exposes.
 func (t *Tree) commitMutation(m mutationScope) {
 	if m.nested {
 		return
 	}
-	t.leaked = append(t.leaked, t.store.commitUndo()...)
+	c := t.store.epoch.Load() + 1
+	t.leaked = append(t.leaked, t.store.commitMut(c)...)
+	// Publish the new version before advancing the epoch: a reader's
+	// advisory pin epoch must never run ahead of the version it loads.
+	t.current.Store(&treeVersion{
+		epoch:  c,
+		root:   t.root,
+		height: t.height,
+		size:   t.size,
+		els:    t.els.Publish(),
+	})
+	t.store.advanceEpoch(c)
+	remaining := t.store.reclaimRetired()
 	if mt := t.metrics; mt != nil {
 		mt.leakedPages.Set(int64(len(t.leaked)))
+		mt.mvccEpoch.Set(int64(c))
+		mt.mvccRetired.Set(int64(remaining))
 	}
-	t.endELSLog()
 }
 
-func (t *Tree) endELSLog() {
-	t.elsLog.active = false
-	t.elsLog.prev = nil
-	t.elsLog.order = t.elsLog.order[:0]
-}
-
-// elsObserve captures the pre-image of an ELS entry on first touch.
-func (t *Tree) elsObserve(id uint32) {
-	if !t.elsLog.active {
-		return
-	}
-	if _, ok := t.elsLog.prev[id]; ok {
-		return
-	}
-	enc, ok := t.els.Encoded(id)
-	t.elsLog.prev[id] = elsPre{enc: enc, present: ok}
-	t.elsLog.order = append(t.elsLog.order, id)
-}
-
-// elsSet, elsEnlarge and elsDelete are the mutation path's ELS accessors:
-// identical to the table's own methods, plus undo capture.
+// elsSet, elsEnlarge and elsDelete are the mutation path's ELS accessors.
+// The table copy-on-writes any chunk shared with the published snapshot,
+// so no pre-image capture is needed: rollback rewinds with ResetTo.
 func (t *Tree) elsSet(id uint32, outer, live geom.Rect) {
-	t.elsObserve(id)
 	t.els.Set(id, outer, live)
 }
 
 func (t *Tree) elsEnlarge(id uint32, outer geom.Rect, p geom.Point) {
-	t.elsObserve(id)
 	t.els.EnlargeToInclude(id, outer, p)
 }
 
 func (t *Tree) elsDelete(id uint32) {
-	t.elsObserve(id)
 	t.els.Delete(id)
+}
+
+// SnapshotInfo reports the published version's epoch, size and height with
+// zero locks (for concurrency layers; the plain Size/Height accessors read
+// the writer's working copy and need writer-side serialization).
+func (t *Tree) SnapshotInfo() (epoch uint64, size, height int) {
+	v := t.current.Load()
+	return v.epoch, v.size, v.height
+}
+
+// Epoch returns the current published commit epoch.
+func (t *Tree) Epoch() uint64 { return t.store.epoch.Load() }
+
+// RetiredVersions returns the number of superseded node versions awaiting
+// epoch-based reclamation.
+func (t *Tree) RetiredVersions() int { return int(t.store.retiredCount.Load()) }
+
+// Reclaim runs an epoch-reclamation pass, severing retired node versions no
+// pinned reader can still need, and returns how many remain retired.
+// Commits do this automatically; explicit calls are for quiesce points and
+// tests. Requires writer-side serialization.
+func (t *Tree) Reclaim() int {
+	remaining := t.store.reclaimRetired()
+	if mt := t.metrics; mt != nil {
+		mt.mvccRetired.Set(int64(remaining))
+	}
+	return remaining
+}
+
+// Pin pins the current snapshot and returns a release function; node
+// versions the snapshot references cannot be reclaimed until release.
+// Audits and tests use it directly; searches pin internally.
+func (t *Tree) Pin() func() {
+	sl, _ := t.store.pin()
+	return func() { t.store.unpin(sl) }
 }
 
 // LeakedPages reports how many pages could not be released because their
@@ -230,6 +275,7 @@ func New(file pagefile.File, cfg Config) (*Tree, error) {
 	if err := t.writeMeta(); err != nil {
 		return nil, err
 	}
+	t.publishNow()
 	return t, nil
 }
 
@@ -266,6 +312,7 @@ func Open(file pagefile.File, cfg Config) (*Tree, error) {
 			}
 		}
 	}
+	t.publishNow()
 	return t, nil
 }
 
@@ -775,11 +822,13 @@ func (t *Tree) freeSubtree(id pagefile.PageID) error {
 // RebuildELS recomputes the encoded-live-space table from the stored data
 // (used after Open, when the in-memory side table is empty).
 func (t *Tree) RebuildELS() error {
-	if !t.els.Enabled() {
-		return nil
+	if t.els.Enabled() {
+		if _, err := t.rebuildELSAt(t.root); err != nil {
+			return err
+		}
 	}
-	_, err := t.rebuildELSAt(t.root)
-	return err
+	t.publishNow()
+	return nil
 }
 
 func (t *Tree) rebuildELSAt(id pagefile.PageID) (geom.Rect, error) {

@@ -21,16 +21,17 @@ func (t *Tree) SearchBoxFunc(q geom.Rect, fn func(Entry) bool) error {
 	qc := &c.qc
 	qc.acquire(t.cfg.Dim)
 	defer qc.release()
+	t.pinCtx(qc)
 	tr, start := t.beginQuery(qc, opBox)
 	accepted := 0
 
-	pending := append(qc.pending, visitRef{child: t.root, slot: qc.arena.put(t.cfg.Space), span: -1})
+	pending := append(qc.pending, visitRef{child: qc.ver.root, slot: qc.arena.put(t.cfg.Space), span: -1})
 	for len(pending) > 0 {
 		v := pending[len(pending)-1]
 		pending = pending[:len(pending)-1]
 		qc.arena.copyOut(v.slot, qc.walk)
 		qc.arena.release(v.slot)
-		n, hit, err := t.store.getq(v.child)
+		n, hit, err := t.store.getq(v.child, qc.ver.epoch)
 		if err != nil {
 			qc.pending = pending[:0]
 			t.finishQuery(qc, opBox, start, accepted, err)

@@ -13,7 +13,6 @@ package els
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"hybridtree/internal/geom"
 )
@@ -23,25 +22,47 @@ import (
 // the table's configured number of bits.
 type Encoded []byte
 
+// chunkBits sets the chunk granularity of the persistent table: 64 entries
+// per chunk keeps the copy-on-write unit small (a mutation clones at most a
+// few hundred bytes plus the decoded-rectangle block) while a snapshot is
+// just a shared slice of chunk pointers.
+const (
+	chunkBits = 6
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+// chunk holds 64 consecutive node ids' encodings plus their eagerly decoded
+// rectangles in one flat float32 block (entry i's rectangle occupies
+// dec[i·2·dim : (i+1)·2·dim], lo then hi). Once sealed by Publish a chunk is
+// immutable; mutations replace it wholesale via copy-on-write.
+type chunk struct {
+	sealed  bool
+	present [chunkSize]bool
+	enc     [chunkSize]Encoded
+	dec     []float32
+}
+
 // Table holds the encoded live rectangles of a tree's nodes, keyed by an
 // opaque node identifier (page id). The paper stores this side information
 // in memory — for an 8K page, 4-bit precision and 64 dimensions it is under
 // 1% of the database size — and so do we. MemoryBytes reports the honest
 // footprint so the harness can verify that claim.
 //
-// The table is safe for concurrent use. Get matters here: although
-// logically read-only, it memoizes decoded rectangles, so without the lock
-// two parallel searches right after a snapshot restore would race on the
-// memo map.
+// The table is the writer's working copy: mutations require the external
+// serialization the concurrency layer already provides for writers. Readers
+// never touch the Table — they use the immutable Snap the writer obtains
+// from Publish at commit time, which is safe for any number of concurrent
+// goroutines with zero locking.
 type Table struct {
 	bits int
-	mu   sync.RWMutex
-	enc  map[uint32]Encoded
-	// dec memoizes decoded rectangles so the two-step overlap check of
-	// Section 3.4 costs a rectangle intersection rather than a bit-unpack
-	// per child per query. The encoded form remains canonical and is what
-	// MemoryBytes accounts for.
-	dec map[uint32]geom.Rect
+	dim  int
+	n    int
+	// chunks is indexed by id>>chunkBits. When sealedSlice is true the slice
+	// itself is shared with a published Snap and must be cloned before any
+	// element is replaced.
+	chunks      []*chunk
+	sealedSlice bool
 }
 
 // NewTable creates an ELS table with the given precision in bits per
@@ -52,7 +73,7 @@ func NewTable(bits int) *Table {
 	if bits < 0 || bits > 16 {
 		panic(fmt.Sprintf("els: bits per boundary must be in [0,16], got %d", bits))
 	}
-	return &Table{bits: bits, enc: make(map[uint32]Encoded), dec: make(map[uint32]geom.Rect)}
+	return &Table{bits: bits}
 }
 
 // Bits returns the configured precision.
@@ -63,21 +84,63 @@ func (t *Table) Enabled() bool { return t.bits > 0 }
 
 // MemoryBytes returns the total size of all stored encodings.
 func (t *Table) MemoryBytes() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	n := 0
-	for _, e := range t.enc {
-		n += len(e)
+	for _, c := range t.chunks {
+		if c == nil {
+			continue
+		}
+		for i := range c.enc {
+			if c.present[i] {
+				n += len(c.enc[i])
+			}
+		}
 	}
 	return n
 }
 
-// setLocked stores the encoding and its decoded memo; t.mu must be held
-// exclusively.
-func (t *Table) setLocked(id uint32, outer, live geom.Rect) {
-	e := Encode(outer, live, t.bits)
-	t.enc[id] = e
-	t.dec[id] = Decode(outer, e, t.bits)
+func (t *Table) ensureDim(dim int) {
+	if t.dim == 0 {
+		t.dim = dim
+	}
+}
+
+// mutable returns a chunk safe to mutate in place, cloning any state shared
+// with a published snapshot first.
+func (t *Table) mutable(ci int) *chunk {
+	if t.sealedSlice {
+		t.chunks = append([]*chunk(nil), t.chunks...)
+		t.sealedSlice = false
+	}
+	for ci >= len(t.chunks) {
+		t.chunks = append(t.chunks, nil)
+	}
+	c := t.chunks[ci]
+	if c == nil {
+		c = &chunk{dec: make([]float32, chunkSize*2*t.dim)}
+		t.chunks[ci] = c
+	} else if c.sealed {
+		nc := &chunk{present: c.present, enc: c.enc}
+		nc.dec = append([]float32(nil), c.dec...)
+		t.chunks[ci] = nc
+		c = nc
+	}
+	return c
+}
+
+// install stores enc (and its decoded form, relative to outer) for id.
+func (t *Table) install(id uint32, outer geom.Rect, e Encoded) {
+	t.ensureDim(outer.Dim())
+	c := t.mutable(int(id >> chunkBits))
+	idx := int(id & chunkMask)
+	if !c.present[idx] {
+		c.present[idx] = true
+		t.n++
+	}
+	c.enc[idx] = e
+	d := Decode(outer, e, t.bits)
+	off := idx * 2 * t.dim
+	copy(c.dec[off:off+t.dim], d.Lo)
+	copy(c.dec[off+t.dim:off+2*t.dim], d.Hi)
 }
 
 // Set encodes live relative to outer and stores it for id. live must be
@@ -86,40 +149,40 @@ func (t *Table) Set(id uint32, outer, live geom.Rect) {
 	if !t.Enabled() {
 		return
 	}
-	t.mu.Lock()
-	t.setLocked(id, outer, live)
-	t.mu.Unlock()
+	t.install(id, outer, Encode(outer, live, t.bits))
+}
+
+// decAt returns the stored decoded rectangle for id, aliasing the chunk's
+// flat block. Callers must not mutate it.
+func decAt(chunks []*chunk, dim int, id uint32) (geom.Rect, bool) {
+	ci := int(id >> chunkBits)
+	if ci >= len(chunks) {
+		return geom.Rect{}, false
+	}
+	c := chunks[ci]
+	if c == nil {
+		return geom.Rect{}, false
+	}
+	idx := int(id & chunkMask)
+	if !c.present[idx] {
+		return geom.Rect{}, false
+	}
+	off := idx * 2 * dim
+	return geom.Rect{Lo: c.dec[off : off+dim], Hi: c.dec[off+dim : off+2*dim]}, true
 }
 
 // Get returns the decoded live rectangle for id, or outer itself when no
 // encoding is stored (or encoding is disabled). The second return reports
-// whether an encoding was present. The returned rectangle is shared with
-// the table's memo — callers must not mutate it.
+// whether an encoding was present. The returned rectangle aliases the
+// table's decoded block — callers must not mutate it.
 func (t *Table) Get(id uint32, outer geom.Rect) (geom.Rect, bool) {
 	if !t.Enabled() {
 		return outer, false
 	}
-	t.mu.RLock()
-	if r, ok := t.dec[id]; ok {
-		t.mu.RUnlock()
+	if r, ok := decAt(t.chunks, t.dim, id); ok {
 		return r, true
 	}
-	e, ok := t.enc[id]
-	t.mu.RUnlock()
-	if !ok {
-		return outer, false
-	}
-	// Decode outside the lock, then memoize; a racing decoder produces the
-	// identical rectangle, so first-in wins.
-	r := Decode(outer, e, t.bits)
-	t.mu.Lock()
-	if cached, ok := t.dec[id]; ok {
-		r = cached
-	} else {
-		t.dec[id] = r
-	}
-	t.mu.Unlock()
-	return r, true
+	return outer, false
 }
 
 // EnlargeToInclude grows id's stored live rectangle to include p (used on
@@ -129,78 +192,156 @@ func (t *Table) EnlargeToInclude(id uint32, outer geom.Rect, p geom.Point) {
 	if !t.Enabled() {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	live, ok := t.dec[id]
-	if !ok {
-		if e, found := t.enc[id]; found {
-			live = Decode(outer, e, t.bits)
-			t.dec[id] = live
-			ok = true
+	t.ensureDim(outer.Dim())
+	if live, ok := decAt(t.chunks, t.dim, id); ok {
+		if live.Contains(p) {
+			return // common case: no re-encode, no copy-on-write
 		}
+		grown := live.Clone()
+		grown.Enlarge(p)
+		t.install(id, outer, Encode(outer, grown, t.bits))
+		return
 	}
-	if !ok {
-		live = geom.Rect{Lo: p.Clone(), Hi: p.Clone()}
-	}
-	if live.Contains(p) {
-		return // common case: no re-encode needed
-	}
-	live = live.Clone()
-	live.Enlarge(p)
-	t.setLocked(id, outer, live)
+	live := geom.Rect{Lo: p.Clone(), Hi: p.Clone()}
+	t.install(id, outer, Encode(outer, live, t.bits))
 }
 
 // Encoded returns the raw stored encoding for id, if any. The returned
-// slice is shared with the table — callers must not mutate it. Rollback
-// machinery uses this to capture exact pre-images; Set always installs a
-// freshly allocated encoding, so a captured slice stays intact.
+// slice is shared with the table — callers must not mutate it. Set always
+// installs a freshly allocated encoding, so a captured slice stays intact.
 func (t *Table) Encoded(id uint32) (Encoded, bool) {
-	t.mu.RLock()
-	e, ok := t.enc[id]
-	t.mu.RUnlock()
-	return e, ok
+	ci := int(id >> chunkBits)
+	if ci >= len(t.chunks) || t.chunks[ci] == nil {
+		return nil, false
+	}
+	idx := int(id & chunkMask)
+	if !t.chunks[ci].present[idx] {
+		return nil, false
+	}
+	return t.chunks[ci].enc[idx], true
 }
 
 // Delete removes id's encoding (when its node is freed).
 func (t *Table) Delete(id uint32) {
-	t.mu.Lock()
-	delete(t.enc, id)
-	delete(t.dec, id)
-	t.mu.Unlock()
+	if !t.Enabled() {
+		return
+	}
+	ci := int(id >> chunkBits)
+	if ci >= len(t.chunks) || t.chunks[ci] == nil {
+		return
+	}
+	idx := int(id & chunkMask)
+	if !t.chunks[ci].present[idx] {
+		return
+	}
+	c := t.mutable(ci)
+	c.present[idx] = false
+	c.enc[idx] = nil
+	t.n--
 }
 
 // Len returns the number of stored encodings.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.enc)
-}
+func (t *Table) Len() int { return t.n }
 
-// Snapshot returns every stored (id, encoding) pair, for persistence. The
-// encodings are shared, not copied.
+// Snapshot returns every stored (id, encoding) pair in ascending id order,
+// for persistence. The encodings are shared, not copied.
 func (t *Table) Snapshot() (ids []uint32, encs []Encoded) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	ids = make([]uint32, 0, len(t.enc))
-	encs = make([]Encoded, 0, len(t.enc))
-	for id, e := range t.enc {
-		ids = append(ids, id)
-		encs = append(encs, e)
+	ids = make([]uint32, 0, t.n)
+	encs = make([]Encoded, 0, t.n)
+	for ci, c := range t.chunks {
+		if c == nil {
+			continue
+		}
+		for i := 0; i < chunkSize; i++ {
+			if c.present[i] {
+				ids = append(ids, uint32(ci<<chunkBits|i))
+				encs = append(encs, c.enc[i])
+			}
+		}
 	}
 	return ids, encs
 }
 
-// Restore installs an encoding captured by Snapshot or Encoded. Any stale
-// decoded memo for id is dropped; the memo repopulates lazily on the first
-// Get.
-func (t *Table) Restore(id uint32, enc Encoded) {
+// Restore installs an encoding captured by Snapshot or Encoded, decoding it
+// eagerly relative to outer (the same outer rectangle the original Set
+// used; the tree encodes every live rectangle relative to the data space).
+func (t *Table) Restore(id uint32, enc Encoded, outer geom.Rect) {
 	if !t.Enabled() {
 		return
 	}
-	t.mu.Lock()
-	t.enc[id] = enc
-	delete(t.dec, id)
-	t.mu.Unlock()
+	t.install(id, outer, enc)
+}
+
+// Snap is an immutable point-in-time view of a Table, safe for concurrent
+// lock-free reads. A Snap shares chunk storage with the table and with
+// other snapshots; the copy-on-write discipline in Table guarantees no
+// chunk reachable from a Snap is ever mutated.
+type Snap struct {
+	bits   int
+	dim    int
+	n      int
+	chunks []*chunk
+}
+
+// Publish seals the table's current state and returns it as an immutable
+// snapshot. The writer calls this once per committed mutation; subsequent
+// table mutations copy-on-write any chunk (and the chunk slice) the
+// snapshot references.
+func (t *Table) Publish() *Snap {
+	for _, c := range t.chunks {
+		if c != nil {
+			c.sealed = true
+		}
+	}
+	t.sealedSlice = true
+	return &Snap{bits: t.bits, dim: t.dim, n: t.n, chunks: t.chunks}
+}
+
+// ResetTo rewinds the table to a previously published snapshot, discarding
+// every mutation since. Rollback uses this instead of replaying undo
+// pre-images.
+func (t *Table) ResetTo(s *Snap) {
+	t.bits = s.bits
+	t.dim = s.dim
+	t.n = s.n
+	t.chunks = s.chunks
+	t.sealedSlice = true
+}
+
+// Enabled reports whether encoding is active in this snapshot.
+func (s *Snap) Enabled() bool { return s.bits > 0 }
+
+// Len returns the number of stored encodings in the snapshot.
+func (s *Snap) Len() int { return s.n }
+
+// MemoryBytes returns the total size of all encodings stored in the
+// snapshot.
+func (s *Snap) MemoryBytes() int {
+	n := 0
+	for _, c := range s.chunks {
+		if c == nil {
+			continue
+		}
+		for i := range c.enc {
+			if c.present[i] {
+				n += len(c.enc[i])
+			}
+		}
+	}
+	return n
+}
+
+// Get is Table.Get against the snapshot: zero locks, zero allocations. The
+// returned rectangle aliases the snapshot's decoded block — callers must
+// not mutate it.
+func (s *Snap) Get(id uint32, outer geom.Rect) (geom.Rect, bool) {
+	if s.bits == 0 {
+		return outer, false
+	}
+	if r, ok := decAt(s.chunks, s.dim, id); ok {
+		return r, true
+	}
+	return outer, false
 }
 
 // Encode quantizes live relative to outer using the given bits per boundary.

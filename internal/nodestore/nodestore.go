@@ -4,9 +4,10 @@
 // on a cache hit: the experiments count cold disk accesses, and caching is
 // only a construction-speed convenience that must not distort measurements.
 //
-// Get is safe for concurrent callers (the cache is sharded and scratch
-// buffers are pooled); Put, Alloc and Free mutate the index and need the
-// exclusive locking a concurrency layer provides for writers.
+// Get is lock-free: each shard publishes its map through an atomic pointer
+// and mutators replace it copy-on-write, so readers never contend with each
+// other or with the writer. Put, Alloc and Free still need the exclusive
+// writer serialization a concurrency layer provides.
 package nodestore
 
 import (
@@ -23,12 +24,28 @@ type Codec[N any] interface {
 	Decode(id pagefile.PageID, buf []byte) (N, error)
 }
 
-// shards is the number of independently-locked cache segments.
+// shards is the number of independently-published cache segments.
 const shards = 16
 
+// shard is one cache segment: readers load m with a single atomic pointer
+// load; mutators serialize on mu and install a fresh copy of the map, never
+// mutating one a reader may hold.
 type shard[N any] struct {
-	mu sync.RWMutex
-	m  map[pagefile.PageID]N
+	mu sync.Mutex
+	m  atomic.Pointer[map[pagefile.PageID]N]
+}
+
+// mutate replaces the shard's map with fn applied to a private copy.
+func (sh *shard[N]) mutate(fn func(m map[pagefile.PageID]N)) {
+	sh.mu.Lock()
+	old := *sh.m.Load()
+	next := make(map[pagefile.PageID]N, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	fn(next)
+	sh.m.Store(&next)
+	sh.mu.Unlock()
 }
 
 // Store is a write-through decoded-node cache.
@@ -78,7 +95,8 @@ func (s *Store[N]) ResumeObs(o any) {
 func New[N any](file pagefile.File, codec Codec[N]) *Store[N] {
 	s := &Store[N]{file: file, codec: codec}
 	for i := range s.shards {
-		s.shards[i].m = make(map[pagefile.PageID]N)
+		m := make(map[pagefile.PageID]N)
+		s.shards[i].m.Store(&m)
 	}
 	pageSize := file.PageSize()
 	s.bufs.New = func() any {
@@ -93,13 +111,10 @@ func (s *Store[N]) shard(id pagefile.PageID) *shard[N] {
 }
 
 // Get returns the decoded node, counting one logical random read. Safe for
-// concurrent callers.
+// concurrent callers; a cache hit costs one atomic load and no locks.
 func (s *Store[N]) Get(id pagefile.PageID) (N, error) {
 	sh := s.shard(id)
-	sh.mu.RLock()
-	n, ok := sh.m[id]
-	sh.mu.RUnlock()
-	if ok {
+	if n, ok := (*sh.m.Load())[id]; ok {
 		s.file.Stats().AddRandomReads(1)
 		if o := s.obs.Load(); o != nil {
 			o.reads.Inc()
@@ -122,13 +137,13 @@ func (s *Store[N]) Get(id pagefile.PageID) (N, error) {
 		o.reads.Inc()
 		o.misses.Inc()
 	}
-	sh.mu.Lock()
-	if cached, ok := sh.m[id]; ok {
-		n = cached // first decode wins; writers see one canonical instance
-	} else {
-		sh.m[id] = n
-	}
-	sh.mu.Unlock()
+	sh.mutate(func(m map[pagefile.PageID]N) {
+		if cached, ok := m[id]; ok {
+			n = cached // first decode wins; writers see one canonical instance
+		} else {
+			m[id] = n
+		}
+	})
 	return n, nil
 }
 
@@ -148,19 +163,13 @@ func (s *Store[N]) Put(id pagefile.PageID, n N) error {
 	if err != nil {
 		return err
 	}
-	sh := s.shard(id)
-	sh.mu.Lock()
-	sh.m[id] = n
-	sh.mu.Unlock()
+	s.shard(id).mutate(func(m map[pagefile.PageID]N) { m[id] = n })
 	return nil
 }
 
 // Free releases the node's page.
 func (s *Store[N]) Free(id pagefile.PageID) error {
-	sh := s.shard(id)
-	sh.mu.Lock()
-	delete(sh.m, id)
-	sh.mu.Unlock()
+	s.shard(id).mutate(func(m map[pagefile.PageID]N) { delete(m, id) })
 	return s.file.Free(id)
 }
 
@@ -169,7 +178,8 @@ func (s *Store[N]) DropCache() {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		sh.m = make(map[pagefile.PageID]N)
+		m := make(map[pagefile.PageID]N)
+		sh.m.Store(&m)
 		sh.mu.Unlock()
 	}
 }

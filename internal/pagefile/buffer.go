@@ -3,6 +3,7 @@ package pagefile
 import (
 	"container/list"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"hybridtree/internal/obs"
@@ -16,18 +17,32 @@ import (
 // warm-buffer sensitivity runs.
 //
 // Unlike the raw files, even a logically read-only access reorders the LRU
-// list, so Buffered carries its own mutex and is safe for concurrent use in
-// all operations (reads included) regardless of the contract above it.
+// list, so Buffered carries its own locking and is safe for concurrent use
+// in all operations (reads included) regardless of the contract above it.
+// Large buffers (capacity >= shardThreshold) hash page ids across
+// independently-locked LRU shards so concurrent snapshot readers don't
+// serialize on one list mutex; small buffers keep a single shard, i.e. the
+// exact global LRU eviction order.
 type Buffered struct {
-	mu       sync.Mutex
 	inner    File
 	capacity int
-	lru      *list.List // front = most recent; values are *bufPage
-	byID     map[PageID]*list.Element
+	shards   []*bufShard
 	stats    Stats
 	// Shared obs counters: the buffer's hit ratio and eviction pressure,
 	// aggregated across all Buffered instances in the process.
 	obsHits, obsMisses, obsEvicts *obs.Counter
+}
+
+// bufShard is one independently-locked LRU segment.
+type bufShard struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recent; values are *bufPage
+	byID     map[PageID]*list.Element
+	// Per-shard counters (merged into the same registry as the aggregates,
+	// labeled by shard index) expose skew: one hot shard with a high miss
+	// rate means the hash is not spreading the working set.
+	hits, misses, evicts *obs.Counter
 }
 
 type bufPage struct {
@@ -36,21 +51,54 @@ type bufPage struct {
 	dirty bool
 }
 
+// bufferShards is the shard count for large buffers; shardThreshold is the
+// smallest capacity that shards (below it, eviction-order-sensitive callers
+// — and tests — get the exact single-list LRU).
+const (
+	bufferShards   = 8
+	shardThreshold = 64
+)
+
 // NewBuffered wraps inner with an LRU buffer holding capacity pages.
 func NewBuffered(inner File, capacity int) *Buffered {
 	if capacity < 1 {
 		capacity = 1
 	}
 	r := obs.Default()
-	return &Buffered{
+	b := &Buffered{
 		inner:     inner,
 		capacity:  capacity,
-		lru:       list.New(),
-		byID:      make(map[PageID]*list.Element),
 		obsHits:   r.Counter("pagefile_buffer_hits_total"),
 		obsMisses: r.Counter("pagefile_buffer_misses_total"),
 		obsEvicts: r.Counter("pagefile_buffer_evictions_total"),
 	}
+	n := 1
+	if capacity >= shardThreshold {
+		n = bufferShards
+	}
+	b.shards = make([]*bufShard, n)
+	per := capacity / n
+	extra := capacity % n
+	for i := range b.shards {
+		c := per
+		if i < extra {
+			c++
+		}
+		label := strconv.Itoa(i)
+		b.shards[i] = &bufShard{
+			capacity: c,
+			lru:      list.New(),
+			byID:     make(map[PageID]*list.Element),
+			hits:     r.Counter(`pagefile_buffer_hits_total{shard="` + label + `"}`),
+			misses:   r.Counter(`pagefile_buffer_misses_total{shard="` + label + `"}`),
+			evicts:   r.Counter(`pagefile_buffer_evictions_total{shard="` + label + `"}`),
+		}
+	}
+	return b
+}
+
+func (b *Buffered) shard(id PageID) *bufShard {
+	return b.shards[uint(id)%uint(len(b.shards))]
 }
 
 // PageSize implements File.
@@ -63,13 +111,17 @@ func (b *Buffered) Stats() *Stats { return &b.stats }
 // NumPages implements File.
 func (b *Buffered) NumPages() int { return b.inner.NumPages() }
 
-func (b *Buffered) get(id PageID, seq bool) (*bufPage, error) {
-	if el, ok := b.byID[id]; ok {
+// get returns the buffered page, reading it from the inner file on a miss.
+// Caller holds sh.mu.
+func (b *Buffered) get(sh *bufShard, id PageID, seq bool) (*bufPage, error) {
+	if el, ok := sh.byID[id]; ok {
 		b.obsHits.Inc()
-		b.lru.MoveToFront(el)
+		sh.hits.Inc()
+		sh.lru.MoveToFront(el)
 		return el.Value.(*bufPage), nil
 	}
 	b.obsMisses.Inc()
+	sh.misses.Inc()
 	p := &bufPage{id: id, data: make([]byte, b.inner.PageSize())}
 	var err error
 	if seq {
@@ -82,18 +134,21 @@ func (b *Buffered) get(id PageID, seq bool) (*bufPage, error) {
 	if err != nil {
 		return nil, err
 	}
-	b.insert(p)
+	b.insert(sh, p)
 	return p, nil
 }
 
-func (b *Buffered) insert(p *bufPage) {
-	b.byID[p.id] = b.lru.PushFront(p)
-	for b.lru.Len() > b.capacity {
-		el := b.lru.Back()
+// insert adds p to the shard, evicting from its LRU tail while over
+// capacity. Caller holds sh.mu.
+func (b *Buffered) insert(sh *bufShard, p *bufPage) {
+	sh.byID[p.id] = sh.lru.PushFront(p)
+	for sh.lru.Len() > sh.capacity {
+		el := sh.lru.Back()
 		victim := el.Value.(*bufPage)
-		b.lru.Remove(el)
-		delete(b.byID, victim.id)
+		sh.lru.Remove(el)
+		delete(sh.byID, victim.id)
 		b.obsEvicts.Inc()
+		sh.evicts.Inc()
 		if victim.dirty {
 			// Eviction write-back failure is unrecoverable at this layer;
 			// surface it on the next operation via a poisoned buffer would
@@ -117,9 +172,10 @@ func (b *Buffered) flushPage(p *bufPage) error {
 
 // ReadPage implements File.
 func (b *Buffered) ReadPage(id PageID, buf []byte) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	p, err := b.get(id, false)
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, err := b.get(sh, id, false)
 	if err != nil {
 		return err
 	}
@@ -129,9 +185,10 @@ func (b *Buffered) ReadPage(id PageID, buf []byte) error {
 
 // ReadPageSeq implements File.
 func (b *Buffered) ReadPageSeq(id PageID, buf []byte) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	p, err := b.get(id, true)
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, err := b.get(sh, id, true)
 	if err != nil {
 		return err
 	}
@@ -142,24 +199,25 @@ func (b *Buffered) ReadPageSeq(id PageID, buf []byte) error {
 // WritePage implements File; the write is buffered and flushed on eviction,
 // Flush, or Close.
 func (b *Buffered) WritePage(id PageID, data []byte) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	if len(data) > b.inner.PageSize() {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), b.inner.PageSize())
 	}
-	if el, ok := b.byID[id]; ok {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.byID[id]; ok {
 		p := el.Value.(*bufPage)
 		n := copy(p.data, data)
 		for i := n; i < len(p.data); i++ {
 			p.data[i] = 0
 		}
 		p.dirty = true
-		b.lru.MoveToFront(el)
+		sh.lru.MoveToFront(el)
 		return nil
 	}
 	p := &bufPage{id: id, data: make([]byte, b.inner.PageSize()), dirty: true}
 	copy(p.data, data)
-	b.insert(p)
+	b.insert(sh, p)
 	return nil
 }
 
@@ -168,24 +226,31 @@ func (b *Buffered) Allocate() (PageID, error) { return b.inner.Allocate() }
 
 // Free implements File; it drops any buffered copy first.
 func (b *Buffered) Free(id PageID) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if el, ok := b.byID[id]; ok {
-		b.lru.Remove(el)
-		delete(b.byID, id)
+	sh := b.shard(id)
+	sh.mu.Lock()
+	if el, ok := sh.byID[id]; ok {
+		sh.lru.Remove(el)
+		delete(sh.byID, id)
 	}
+	sh.mu.Unlock()
 	return b.inner.Free(id)
 }
 
 // Flush writes every dirty buffered page back to the inner file.
 func (b *Buffered) Flush() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.flushLocked()
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		err := b.flushShard(sh)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func (b *Buffered) flushLocked() error {
-	for el := b.lru.Front(); el != nil; el = el.Next() {
+func (b *Buffered) flushShard(sh *bufShard) error {
+	for el := sh.lru.Front(); el != nil; el = el.Next() {
 		p := el.Value.(*bufPage)
 		if p.dirty {
 			if err := b.flushPage(p); err != nil {
@@ -198,9 +263,7 @@ func (b *Buffered) flushLocked() error {
 
 // Close implements File: flush then close the inner file.
 func (b *Buffered) Close() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if err := b.flushLocked(); err != nil {
+	if err := b.Flush(); err != nil {
 		return err
 	}
 	return b.inner.Close()

@@ -1,0 +1,27 @@
+package sim
+
+import "testing"
+
+// TestRunConcurrent exercises the reader-during-writer-burst differential
+// oracle across a few seeds. Run with -race: the oracle's value is exactly
+// that its checks hold for every interleaving of lock-free snapshot reads
+// against the committing writer.
+func TestRunConcurrent(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		res, err := RunConcurrent(ConcurrentConfig{Seed: seed, Inserts: 600, Readers: 3})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Snapshots == 0 {
+			t.Fatalf("seed %d: no snapshots verified", seed)
+		}
+		if res.MaxPrefix > res.FinalSize {
+			t.Fatalf("seed %d: observed prefix %d beyond final size %d", seed, res.MaxPrefix, res.FinalSize)
+		}
+		if res.FinalEpochs == 0 {
+			t.Fatalf("seed %d: no commit epochs published", seed)
+		}
+		t.Logf("seed %d: %d snapshots, %d knn checks, prefix [%d,%d], %d epochs",
+			seed, res.Snapshots, res.KNNChecked, res.MinPrefix, res.MaxPrefix, res.FinalEpochs)
+	}
+}
