@@ -52,6 +52,7 @@ func main() {
 		metric   = fs.String("metric", "L2", "distance metric: L1, L2, Linf, or Lp:<p>")
 		deadline = fs.Duration("deadline", 0, "query: context deadline; an expired query aborts with no results (0 disables)")
 		budgetPg = fs.Int("budget-pages", 0, "query: page-read budget; an exhausted query degrades to a partial answer (0 = unlimited)")
+		mmap     = fs.Bool("mmap", false, "query: open the index read-only through a memory mapping")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -64,7 +65,7 @@ func main() {
 	case "build":
 		build(*db, *dim, *pageSize, *csvPath, *dsName, *n, *seed, *bulk)
 	case "knn", "range", "box", "explain", "stats", "verify":
-		file, err := openDisk(*db, *pageSize)
+		file, err := openRead(*db, *pageSize, *mmap)
 		check(err)
 		defer file.Close()
 		tree, err := core.Open(file, core.Config{Dim: *dim, PageSize: *pageSize})
@@ -106,7 +107,14 @@ func check(err error) {
 	}
 }
 
-func openDisk(path string, pageSize int) (*pagefile.DiskFile, error) {
+// openRead opens an existing index for the read-only query commands: through
+// a read-only memory mapping when -mmap is set (the query commands never
+// write pages, so MmapFile's ErrReadOnly surface is unreachable), otherwise
+// read-write through the ordinary disk file.
+func openRead(path string, pageSize int, mmap bool) (pagefile.File, error) {
+	if mmap {
+		return pagefile.OpenMmapFile(path, pageSize)
+	}
 	return pagefile.OpenDiskFile(path, pageSize)
 }
 

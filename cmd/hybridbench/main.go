@@ -26,7 +26,7 @@ func main() {
 	var (
 		fig      = flag.String("fig", "", "figure to reproduce: 5ab, 5c, 6ab, 6cd, 7ab, 7cd")
 		table    = flag.Int("table", 0, "table to reproduce: 1 or 2 (3: per-method obs counters, not from the paper)")
-		ablation = flag.String("ablation", "", "ablation to run: pos, queryside, bulk, dp, elsmem")
+		ablation = flag.String("ablation", "", "ablation to run: pos, queryside, bulk, dp, elsmem, mmap")
 		all      = flag.Bool("all", false, "run every figure, table and ablation")
 		paper    = flag.Bool("paper", false, "use the paper's full scale (FOURIER 400K, COLHIST 70K, 100 queries)")
 		fourierN = flag.Int("fourier", 0, "FOURIER dataset size (overrides scale preset)")
@@ -170,6 +170,11 @@ func main() {
 	if *all || *ablation == "elsmem" {
 		t, err := bench.AblationELSMemory(opts)
 		run("ablation elsmem", err)
+		t.Print(os.Stdout)
+	}
+	if *all || *ablation == "mmap" {
+		t, err := bench.AblationMmap(opts)
+		run("ablation mmap", err)
 		t.Print(os.Stdout)
 	}
 }

@@ -2,10 +2,14 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"hybridtree/internal/core"
 	"hybridtree/internal/dataset"
+	"hybridtree/internal/dist"
+	"hybridtree/internal/geom"
 	"hybridtree/internal/index"
 	"hybridtree/internal/pagefile"
 )
@@ -115,6 +119,119 @@ func AblationELSMemory(o Options) (*Table, error) {
 					pct(float64(els) / float64(dbBytes)),
 				})
 			}
+		}
+	}
+	return t, nil
+}
+
+// AblationMmap compares the two read-only serving backends over the same
+// on-disk index: pread-per-page (DiskFile) vs a shared read-only memory
+// mapping (MmapFile). The index is bulk-loaded once to a temporary file and
+// reopened through each backend; logical page reads are identical by
+// construction (same tree, same queries), so the delta isolates the read
+// path itself. Falls back transparently where mmap is unavailable — the
+// "mapped" column records which mode actually ran.
+func AblationMmap(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "Ablation: read-only serving backend — pread vs mmap (COLHIST)",
+		Columns: []string{"dims", "backend", "mapped", "knn CPU/q", "box CPU/q", "avg IO/q"},
+	}
+	dir, err := os.MkdirTemp("", "hybridbench-mmap")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	const k = 10
+	for _, dim := range ColHistDims {
+		data, queries, side, err := colhistWorkload(o, o.ColHistN, dim)
+		if err != nil {
+			return nil, err
+		}
+		centers := make([]geom.Point, 0, o.Queries)
+		for i := 0; i < o.Queries; i++ {
+			centers = append(centers, data[(i*7919)%len(data)])
+		}
+		cfg := core.Config{Dim: dim, PageSize: o.PageSize, QuerySide: side}
+
+		path := filepath.Join(dir, fmt.Sprintf("colhist-%d.ht", dim))
+		df, err := pagefile.CreateDiskFile(path, o.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		rids := make([]core.RecordID, len(data))
+		for i := range rids {
+			rids[i] = core.RecordID(i)
+		}
+		built, err := core.BulkLoad(df, cfg, data, rids)
+		if err != nil {
+			return nil, err
+		}
+		if err := built.Close(); err != nil {
+			return nil, err
+		}
+		if err := df.Close(); err != nil {
+			return nil, err
+		}
+
+		type backend struct {
+			name string
+			open func() (pagefile.File, error)
+		}
+		backends := []backend{
+			{"disk", func() (pagefile.File, error) { return pagefile.OpenDiskFile(path, o.PageSize) }},
+			{"mmap", func() (pagefile.File, error) { return pagefile.OpenMmapFile(path, o.PageSize) }},
+		}
+		var knnResults, boxResults []float64
+		for _, be := range backends {
+			file, err := be.open()
+			if err != nil {
+				return nil, err
+			}
+			tree, err := core.Open(file, cfg)
+			if err != nil {
+				file.Close()
+				return nil, err
+			}
+			idx := &index.Hybrid{Tree: tree}
+			// Warm pass decodes every touched page once, so the timed pass
+			// measures the steady-state read path rather than cold decodes.
+			if _, err := RunKNN(idx, centers, k, dist.L2(), 0, 0); err != nil {
+				file.Close()
+				return nil, err
+			}
+			tree.DropCaches()
+			knn, err := RunKNN(idx, centers, k, dist.L2(), 0, 0)
+			if err != nil {
+				file.Close()
+				return nil, err
+			}
+			tree.DropCaches()
+			box, err := RunBox(idx, queries, 0, 0)
+			if err != nil {
+				file.Close()
+				return nil, err
+			}
+			mapped := "-"
+			if mf, ok := file.(*pagefile.MmapFile); ok {
+				mapped = fmt.Sprintf("%v", mf.Mapped())
+			}
+			knnResults = append(knnResults, knn.AvgResults)
+			boxResults = append(boxResults, box.AvgResults)
+			t.Rows = append(t.Rows, []string{
+				itoa(dim), be.name, mapped,
+				knn.AvgCPU.Round(time.Microsecond).String(),
+				box.AvgCPU.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.1f", knn.AvgIO+box.AvgIO),
+			})
+			o.logf("ablation-mmap: dim=%d %s knn=%v box=%v\n", dim, be.name, knn.AvgCPU, box.AvgCPU)
+			if err := file.Close(); err != nil {
+				return nil, err
+			}
+		}
+		if knnResults[0] != knnResults[1] || boxResults[0] != boxResults[1] {
+			return nil, fmt.Errorf("bench: mmap backend disagrees with disk at dim %d (knn %v vs %v, box %v vs %v)",
+				dim, knnResults[0], knnResults[1], boxResults[0], boxResults[1])
 		}
 	}
 	return t, nil

@@ -103,8 +103,8 @@ func (t *Tree) statsOver(v auditView) (TreeStats, error) {
 		}
 		if n.leaf {
 			st.DataNodes++
-			st.Entries += len(n.pts)
-			fill := float64(len(n.pts)) / float64(t.cfg.dataCapacity())
+			st.Entries += n.count()
+			fill := float64(n.count()) / float64(t.cfg.dataCapacity())
 			fillSum += fill
 			if fill < st.MinDataFill {
 				st.MinDataFill = fill
@@ -215,11 +215,12 @@ func (t *Tree) checkInvariantsOver(v auditView) error {
 			if level != 1 {
 				return geom.Rect{}, fmt.Errorf("node %d: data node at level %d", id, level)
 			}
-			if len(n.pts) > t.cfg.dataCapacity() {
-				return geom.Rect{}, fmt.Errorf("node %d: %d entries exceed capacity %d", id, len(n.pts), t.cfg.dataCapacity())
+			if n.count() > t.cfg.dataCapacity() {
+				return geom.Rect{}, fmt.Errorf("node %d: %d entries exceed capacity %d", id, n.count(), t.cfg.dataCapacity())
 			}
-			entries += len(n.pts)
-			for i, p := range n.pts {
+			entries += n.count()
+			for i := 0; i < n.count(); i++ {
+				p := n.point(i)
 				if !br.Contains(p) {
 					return geom.Rect{}, fmt.Errorf("node %d: point %d %v outside mapped BR %v", id, i, p, br)
 				}

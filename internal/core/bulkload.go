@@ -119,8 +119,7 @@ func (t *Tree) bulkSplit(pts []geom.Point, rids []RecordID, order []int) (*bulkN
 			return nil, err
 		}
 		for _, i := range order {
-			n.pts = append(n.pts, pts[i])
-			n.rids = append(n.rids, rids[i])
+			n.appendPoint(pts[i], rids[i])
 		}
 		if err := t.store.put(n); err != nil {
 			return nil, err

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"hybridtree/internal/geom"
 	"hybridtree/internal/pagefile"
 )
 
@@ -49,7 +48,7 @@ func (e *ErrCorruptPage) Error() string {
 // encoded; the overflow tests compare it against the page size.
 func (n *node) serializedSize(dim int) int {
 	if n.leaf {
-		return nodeHeaderSize + len(n.pts)*(8+4*dim)
+		return nodeHeaderSize + n.count()*(8+4*dim)
 	}
 	internal, leaves := 0, 0
 	n.walkReachable(func(k *kdNode) {
@@ -86,12 +85,12 @@ func (n *node) encode(buf []byte, dim int) (int, error) {
 	if n.leaf {
 		buf[1] = typeDataNode
 		binary.LittleEndian.PutUint16(buf[2:], uint16(dim))
-		binary.LittleEndian.PutUint16(buf[4:], uint16(len(n.pts)))
+		binary.LittleEndian.PutUint16(buf[4:], uint16(n.count()))
 		off := nodeHeaderSize
-		for i, p := range n.pts {
+		for i := range n.rids {
 			binary.LittleEndian.PutUint64(buf[off:], uint64(n.rids[i]))
 			off += 8
-			for _, v := range p {
+			for _, v := range n.vals[i*dim : (i+1)*dim] {
 				binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
 				off += 4
 			}
@@ -163,18 +162,19 @@ func decodeNode(id pagefile.PageID, buf []byte, dim int) (*node, error) {
 		if need > len(buf) {
 			return nil, &ErrCorruptPage{Page: id, Reason: "entry count exceeds page"}
 		}
-		n := &node{id: id, leaf: true, kdRoot: kdNone,
-			pts: make([]geom.Point, count), rids: make([]RecordID, count)}
+		// Decode straight into the flat slab: exactly two allocations per
+		// leaf (vals, rids) regardless of entry count.
+		n := &node{id: id, leaf: true, dim: dim, kdRoot: kdNone,
+			vals: make([]float32, count*dim), rids: make([]RecordID, count)}
 		off := nodeHeaderSize
 		for i := 0; i < count; i++ {
 			n.rids[i] = RecordID(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8
-			p := make(geom.Point, dim)
+			row := n.vals[i*dim : (i+1)*dim]
 			for d := 0; d < dim; d++ {
-				p[d] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+				row[d] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
 				off += 4
 			}
-			n.pts[i] = p
 		}
 		return n, nil
 

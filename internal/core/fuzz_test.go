@@ -17,14 +17,13 @@ import (
 func FuzzDecodeNode(f *testing.F) {
 	// Seed with a few valid pages of both kinds, plus garbage.
 	mkData := func(dim, count int) []byte {
-		n := &node{id: 1, leaf: true, kdRoot: kdNone}
+		n := &node{id: 1, leaf: true, dim: dim, kdRoot: kdNone}
 		for i := 0; i < count; i++ {
-			p := make([]float32, dim)
+			p := make(geom.Point, dim)
 			for d := range p {
 				p[d] = float32(i) / 10
 			}
-			n.pts = append(n.pts, p)
-			n.rids = append(n.rids, RecordID(i))
+			n.appendPoint(p, RecordID(i))
 		}
 		buf := make([]byte, 4096)
 		size, err := n.encode(buf, dim)
@@ -89,8 +88,8 @@ func FuzzNodeRoundTrip(f *testing.F) {
 		}
 		// Consume raw as a stream of float32 coordinates; each dim of them
 		// plus a derived rid makes one entry.
-		n := &node{id: 1, leaf: true, kdRoot: kdNone}
-		for off := 0; off+4*dim <= len(raw) && len(n.pts) < 200; off += 4 * dim {
+		n := &node{id: 1, leaf: true, dim: dim, kdRoot: kdNone}
+		for off := 0; off+4*dim <= len(raw) && n.count() < 200; off += 4 * dim {
 			p := make(geom.Point, dim)
 			for d := 0; d < dim; d++ {
 				bits := binary.LittleEndian.Uint32(raw[off+4*d:])
@@ -100,8 +99,7 @@ func FuzzNodeRoundTrip(f *testing.F) {
 				}
 				p[d] = v
 			}
-			n.pts = append(n.pts, p)
-			n.rids = append(n.rids, RecordID(off))
+			n.appendPoint(p, RecordID(off))
 		}
 		buf1 := make([]byte, 1<<20)
 		size1, err := n.encode(buf1, dim)
@@ -112,8 +110,8 @@ func FuzzNodeRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decode of encoded node failed: %v", err)
 		}
-		if len(decoded.pts) != len(n.pts) {
-			t.Fatalf("decoded %d entries, encoded %d", len(decoded.pts), len(n.pts))
+		if decoded.count() != n.count() {
+			t.Fatalf("decoded %d entries, encoded %d", decoded.count(), n.count())
 		}
 		buf2 := make([]byte, 1<<20)
 		size2, err := decoded.encode(buf2, dim)
@@ -122,6 +120,66 @@ func FuzzNodeRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(buf1[:size1], buf2[:size2]) {
 			t.Fatalf("encoding is not a fixed point: %d bytes vs %d", size1, size2)
+		}
+	})
+}
+
+// FuzzSlabRoundTrip exercises the flat-slab leaf layout directly: entries
+// built through appendPoint must encode and decode back to an identical
+// slab (vals length exactly count*dim, per-point views equal, rids equal),
+// and the re-encoding must be byte-identical. Seeds cover odd dimensions
+// and the empty leaf. Run with
+// `go test -fuzz FuzzSlabRoundTrip ./internal/core`.
+func FuzzSlabRoundTrip(f *testing.F) {
+	f.Add(3, 5, uint64(7))   // odd dim
+	f.Add(1, 0, uint64(1))   // empty leaf, minimal dim
+	f.Add(7, 1, uint64(42))  // odd dim, single entry
+	f.Add(16, 9, uint64(3))  // even dim
+	f.Add(63, 2, uint64(11)) // large odd dim
+	f.Fuzz(func(t *testing.T, dim, count int, seed uint64) {
+		if dim < 1 || dim > 64 || count < 0 || count > 120 {
+			return
+		}
+		n := &node{id: 1, leaf: true, dim: dim, kdRoot: kdNone}
+		s := seed
+		for i := 0; i < count; i++ {
+			p := make(geom.Point, dim)
+			for d := range p {
+				s = s*6364136223846793005 + 1442695040888963407
+				p[d] = float32(s>>40) / float32(1<<24)
+			}
+			n.appendPoint(p, RecordID(s))
+		}
+		if len(n.vals) != count*dim || len(n.rids) != count {
+			t.Fatalf("slab shape: %d vals, %d rids, want %d and %d", len(n.vals), len(n.rids), count*dim, count)
+		}
+		buf1 := make([]byte, n.serializedSize(dim))
+		size1, err := n.encode(buf1, dim)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		dec, err := decodeNode(pagefile.PageID(1), buf1[:size1], dim)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(dec.vals) != count*dim || dec.count() != count || dec.dim != dim {
+			t.Fatalf("decoded slab shape: %d vals, count %d, dim %d", len(dec.vals), dec.count(), dec.dim)
+		}
+		for i := 0; i < count; i++ {
+			if dec.rids[i] != n.rids[i] {
+				t.Fatalf("entry %d: rid %d != %d", i, dec.rids[i], n.rids[i])
+			}
+			if !dec.point(i).Equal(n.point(i)) {
+				t.Fatalf("entry %d: point %v != %v", i, dec.point(i), n.point(i))
+			}
+		}
+		buf2 := make([]byte, dec.serializedSize(dim))
+		size2, err := dec.encode(buf2, dim)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(buf1[:size1], buf2[:size2]) {
+			t.Fatalf("slab encoding is not a fixed point: %d bytes vs %d", size1, size2)
 		}
 	})
 }

@@ -247,14 +247,13 @@ func TestCodecRoundTripData(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		dim := 1 + rng.Intn(32)
 		count := rng.Intn(20)
-		n := &node{id: 7, leaf: true, kdRoot: kdNone}
+		n := &node{id: 7, leaf: true, dim: dim, kdRoot: kdNone}
 		for i := 0; i < count; i++ {
 			p := make(geom.Point, dim)
 			for d := range p {
 				p[d] = rng.Float32()
 			}
-			n.pts = append(n.pts, p)
-			n.rids = append(n.rids, RecordID(rng.Uint64()))
+			n.appendPoint(p, RecordID(rng.Uint64()))
 		}
 		buf := make([]byte, 8192)
 		size, err := n.encode(buf, dim)
@@ -262,11 +261,11 @@ func TestCodecRoundTripData(t *testing.T) {
 			return false
 		}
 		dec, err := decodeNode(7, buf[:size], dim)
-		if err != nil || !dec.leaf || len(dec.pts) != count {
+		if err != nil || !dec.leaf || dec.count() != count {
 			return false
 		}
-		for i := range n.pts {
-			if !dec.pts[i].Equal(n.pts[i]) || dec.rids[i] != n.rids[i] {
+		for i := range n.rids {
+			if !dec.point(i).Equal(n.point(i)) || dec.rids[i] != n.rids[i] {
 				return false
 			}
 		}
@@ -333,8 +332,8 @@ func TestCodecRoundTripIndex(t *testing.T) {
 }
 
 func TestDecodeRejectsCorruption(t *testing.T) {
-	n := &node{id: 1, leaf: true, kdRoot: kdNone,
-		pts: []geom.Point{{0.5, 0.5}}, rids: []RecordID{1}}
+	n := &node{id: 1, leaf: true, dim: 2, kdRoot: kdNone,
+		vals: []float32{0.5, 0.5}, rids: []RecordID{1}}
 	buf := make([]byte, 512)
 	size, err := n.encode(buf, 2)
 	if err != nil {
@@ -383,8 +382,7 @@ func TestDataSplitUtilization(t *testing.T) {
 		} else {
 			x = rng.Float32() * 0.1
 		}
-		n.pts = append(n.pts, geom.Point{x, rng.Float32()})
-		n.rids = append(n.rids, RecordID(i))
+		n.appendPoint(geom.Point{x, rng.Float32()}, RecordID(i))
 	}
 	sr, err := tree.splitDataNode(n)
 	if err != nil {
@@ -396,20 +394,20 @@ func TestDataSplitUtilization(t *testing.T) {
 	left, _ := tree.store.get(sr.left)
 	right, _ := tree.store.get(sr.right)
 	minFill := tree.cfg.minDataFill()
-	if len(left.pts) < minFill || len(right.pts) < minFill {
-		t.Fatalf("utilization violated: %d/%d with min %d", len(left.pts), len(right.pts), minFill)
+	if left.count() < minFill || right.count() < minFill {
+		t.Fatalf("utilization violated: %d/%d with min %d", left.count(), right.count(), minFill)
 	}
-	if len(left.pts)+len(right.pts) != cap+1 {
+	if left.count()+right.count() != cap+1 {
 		t.Fatal("split lost entries")
 	}
 	// Every left point at or below the split, every right at or above.
-	for _, p := range left.pts {
-		if p[sr.dim] > sr.lsp {
+	for i := 0; i < left.count(); i++ {
+		if p := left.point(i); p[sr.dim] > sr.lsp {
 			t.Fatalf("left point %v beyond lsp %g", p, sr.lsp)
 		}
 	}
-	for _, p := range right.pts {
-		if p[sr.dim] < sr.rsp {
+	for i := 0; i < right.count(); i++ {
+		if p := right.point(i); p[sr.dim] < sr.rsp {
 			t.Fatalf("right point %v before rsp %g", p, sr.rsp)
 		}
 	}

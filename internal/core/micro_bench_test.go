@@ -166,10 +166,9 @@ func BenchmarkDelete16d(b *testing.B) {
 
 func BenchmarkNodeEncode64d(b *testing.B) {
 	pts := benchPoints(15, 64, 7)
-	n := &node{id: 1, leaf: true, kdRoot: kdNone}
+	n := &node{id: 1, leaf: true, dim: 64, kdRoot: kdNone}
 	for i, p := range pts {
-		n.pts = append(n.pts, p)
-		n.rids = append(n.rids, RecordID(i))
+		n.appendPoint(p, RecordID(i))
 	}
 	buf := make([]byte, pagefile.DefaultPageSize)
 	b.ReportAllocs()
@@ -183,10 +182,9 @@ func BenchmarkNodeEncode64d(b *testing.B) {
 
 func BenchmarkNodeDecode64d(b *testing.B) {
 	pts := benchPoints(15, 64, 8)
-	n := &node{id: 1, leaf: true, kdRoot: kdNone}
+	n := &node{id: 1, leaf: true, dim: 64, kdRoot: kdNone}
 	for i, p := range pts {
-		n.pts = append(n.pts, p)
-		n.rids = append(n.rids, RecordID(i))
+		n.appendPoint(p, RecordID(i))
 	}
 	buf := make([]byte, pagefile.DefaultPageSize)
 	size, err := n.encode(buf, 64)

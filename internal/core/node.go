@@ -34,8 +34,12 @@ type node struct {
 	id   pagefile.PageID
 	leaf bool
 
-	// Data node payload. pts[i] belongs to rids[i].
-	pts  []geom.Point
+	// Data node payload: one contiguous slab of count*dim coordinates, so
+	// leaf scans stream linearly instead of pointer-chasing one heap
+	// allocation per point. vals[i*dim:(i+1)*dim] is point i and belongs to
+	// rids[i]; dim is the tree dimensionality, fixed at decode/alloc time.
+	dim  int
+	vals []float32
 	rids []RecordID
 
 	// Index node payload: kd-tree arena. kdRoot indexes the root; dead
@@ -45,13 +49,52 @@ type node struct {
 	kdRoot int32
 }
 
-// clone returns a private copy the writer may mutate freely. One level
-// deep is a complete copy: the tree never element-mutates points (they are
-// replaced wholesale), and rids/kd are value slices.
+// count returns the number of entries in a data node.
+func (n *node) count() int { return len(n.rids) }
+
+// point returns a view of point i over the slab. The full slice expression
+// caps the view so an append through it can never clobber point i+1.
+func (n *node) point(i int) geom.Point {
+	return geom.Point(n.vals[i*n.dim : (i+1)*n.dim : (i+1)*n.dim])
+}
+
+// coord returns coordinate d of point i without building a slice header —
+// the form split-ordering comparators want.
+func (n *node) coord(i, d int) float32 { return n.vals[i*n.dim+d] }
+
+// appendPoint appends one entry to the data node payload.
+func (n *node) appendPoint(p geom.Point, rid RecordID) {
+	n.vals = append(n.vals, p...)
+	n.rids = append(n.rids, rid)
+}
+
+// swapRemove removes entry i by moving the last entry into its slot (order
+// is not meaningful inside a data node).
+func (n *node) swapRemove(i int) {
+	last := n.count() - 1
+	copy(n.vals[i*n.dim:(i+1)*n.dim], n.vals[last*n.dim:(last+1)*n.dim])
+	n.rids[i] = n.rids[last]
+	n.vals = n.vals[:last*n.dim]
+	n.rids = n.rids[:last]
+}
+
+// materializePoints appends per-point views of the slab to dst — for cold
+// paths (split policies, orphan reinsertion) that want []geom.Point. The
+// views alias the slab; callers must treat them as read-only.
+func (n *node) materializePoints(dst []geom.Point) []geom.Point {
+	for i := 0; i < n.count(); i++ {
+		dst = append(dst, n.point(i))
+	}
+	return dst
+}
+
+// clone returns a private copy the writer may mutate freely. The slab is
+// copied wholesale, so published versions a concurrent reader holds are
+// never touched — the MVCC copy-on-write boundary.
 func (n *node) clone() *node {
-	c := &node{id: n.id, leaf: n.leaf, kdRoot: n.kdRoot}
-	if n.pts != nil {
-		c.pts = append([]geom.Point(nil), n.pts...)
+	c := &node{id: n.id, leaf: n.leaf, dim: n.dim, kdRoot: n.kdRoot}
+	if n.vals != nil {
+		c.vals = append([]float32(nil), n.vals...)
 	}
 	if n.rids != nil {
 		c.rids = append([]RecordID(nil), n.rids...)
@@ -268,9 +311,15 @@ func (n *node) removeChild(child pagefile.PageID) bool {
 	return true
 }
 
-// dataRect returns the bounding rectangle of a data node's points.
+// dataRect returns the bounding rectangle of a data node's points,
+// streaming over the slab. Mirrors geom.BoundingRect (including panicking
+// on an empty node — callers guard).
 func (n *node) dataRect() geom.Rect {
-	return geom.BoundingRect(n.pts)
+	r := geom.Rect{Lo: n.point(0).Clone(), Hi: n.point(0).Clone()}
+	for i := 1; i < n.count(); i++ {
+		r.Enlarge(n.point(i))
+	}
+	return r
 }
 
 // usedSplitDims returns the set of dimensions appearing in the node's

@@ -30,8 +30,8 @@ func (t *Tree) refBoxAt(id pagefile.PageID, br geom.Rect, q geom.Rect, out *[]En
 		return err
 	}
 	if n.leaf {
-		for i, p := range n.pts {
-			if q.Contains(p) {
+		for i := range n.rids {
+			if p := n.point(i); q.Contains(p) {
 				*out = append(*out, Entry{Point: p, RID: n.rids[i]})
 			}
 		}
@@ -96,7 +96,8 @@ func (t *Tree) refRangeAt(id pagefile.PageID, br geom.Rect, q geom.Point, radius
 		return err
 	}
 	if n.leaf {
-		for i, p := range n.pts {
+		for i := range n.rids {
+			p := n.point(i)
 			if d := m.Distance(q, p); d <= radius {
 				*out = append(*out, Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d})
 			}
@@ -177,7 +178,8 @@ func (t *Tree) refSearchKNN(q geom.Point, k int, m dist.Metric) ([]Neighbor, err
 			return nil, err
 		}
 		if n.leaf {
-			for i, p := range n.pts {
+			for i := range n.rids {
+				p := n.point(i)
 				d := m.Distance(q, p)
 				best.Offer(Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d}, d)
 			}

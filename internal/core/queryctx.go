@@ -76,6 +76,12 @@ type queryCtx struct {
 	scratch geom.Rect
 	coords  []float32
 
+	// Leaf-scan scratch for the slab batch kernels: dists receives one
+	// squared distance per leaf point, hits the indices a box filter kept.
+	// Both grow to the query's high-water leaf size and are then reused.
+	dists []float64
+	hits  []int32
+
 	// MVCC snapshot state: ver is the pinned tree version this query
 	// traverses, pin the reader-pin slot keeping its node versions alive.
 	// pinStart/pinObs/pinGauge carry the pin-duration instrumentation when
@@ -159,6 +165,15 @@ func (qc *queryCtx) release() {
 	}
 	qc.ver = nil
 	qc.busy = false
+}
+
+// distSlab returns the context's distance-output buffer with room for n
+// leaf entries, growing it only past the previous high-water mark.
+func (qc *queryCtx) distSlab(n int) []float64 {
+	if cap(qc.dists) < n {
+		qc.dists = make([]float64, n)
+	}
+	return qc.dists[:n]
 }
 
 // kbest returns the context's k-best collector, reset for a fresh query;

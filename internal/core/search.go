@@ -106,13 +106,14 @@ func (t *Tree) runBox(qc *queryCtx, q geom.Rect, dst []Entry) ([]Entry, error) {
 		}
 		span := tr.Visit(v.span, uint32(v.child), n.leaf, hit)
 		if n.leaf {
-			qc.tally.scanned += len(n.pts)
-			tr.Scan(span, len(n.pts))
-			for i, p := range n.pts {
-				if q.Contains(p) {
-					tr.Hit(span)
-					dst = append(dst, Entry{Point: p, RID: n.rids[i]})
-				}
+			qc.tally.scanned += n.count()
+			tr.Scan(span, n.count())
+			// One linear pass over the slab collects the contained indices;
+			// the containment test matches geom.Rect.Contains exactly.
+			qc.hits = dist.FilterBoxSlab(q.Lo, q.Hi, n.vals, n.dim, qc.hits[:0])
+			for _, i := range qc.hits {
+				tr.Hit(span)
+				dst = append(dst, Entry{Point: n.point(int(i)), RID: n.rids[i]})
 			}
 			continue
 		}
@@ -248,6 +249,7 @@ func (t *Tree) SearchRangeContext(ctx context.Context, c *QueryContext, q geom.P
 	base := len(dst)
 
 	sqm, useSq := dist.AsSquared(m)
+	slm, useSlab := dist.AsSlab(m)
 	bound := radius
 	if useSq {
 		bound = radius * radius
@@ -277,20 +279,34 @@ func (t *Tree) SearchRangeContext(ctx context.Context, c *QueryContext, q geom.P
 		}
 		span := tr.Visit(v.span, uint32(v.child), n.leaf, hit)
 		if n.leaf {
-			qc.tally.scanned += len(n.pts)
-			tr.Scan(span, len(n.pts))
-			if useSq {
-				for i, p := range n.pts {
-					if d2 := sqm.DistanceSqBounded(q, p, bound); d2 <= bound {
+			qc.tally.scanned += n.count()
+			tr.Scan(span, n.count())
+			switch {
+			case useSlab:
+				// Batch kernel: one linear pass over the slab with
+				// partial-distance abandonment at the squared radius.
+				// Accepted values (<= bound) are bit-identical to the
+				// per-point DistanceSqBounded calls.
+				out := qc.distSlab(n.count())
+				slm.DistanceSqSlab(q, n.vals, n.dim, bound, out)
+				for i, d2 := range out {
+					if d2 <= bound {
 						tr.Hit(span)
-						dst = append(dst, Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: math.Sqrt(d2)})
+						dst = append(dst, Neighbor{Entry: Entry{Point: n.point(i), RID: n.rids[i]}, Dist: math.Sqrt(d2)})
 					}
 				}
-			} else {
-				for i, p := range n.pts {
-					if d := m.Distance(q, p); d <= radius {
+			case useSq:
+				for i := 0; i < n.count(); i++ {
+					if d2 := sqm.DistanceSqBounded(q, n.point(i), bound); d2 <= bound {
 						tr.Hit(span)
-						dst = append(dst, Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d})
+						dst = append(dst, Neighbor{Entry: Entry{Point: n.point(i), RID: n.rids[i]}, Dist: math.Sqrt(d2)})
+					}
+				}
+			default:
+				for i := 0; i < n.count(); i++ {
+					if d := m.Distance(q, n.point(i)); d <= radius {
+						tr.Hit(span)
+						dst = append(dst, Neighbor{Entry: Entry{Point: n.point(i), RID: n.rids[i]}, Dist: d})
 					}
 				}
 			}
@@ -441,6 +457,7 @@ func (t *Tree) searchKNN(ctx context.Context, c *QueryContext, q geom.Point, k i
 	base := len(dst)
 
 	sqm, useSq := dist.AsSquared(m)
+	slm, useSlab := dist.AsSlab(m)
 	// shrink scales the pruning bound for approximate search; for squared
 	// distances the factor is squared too. epsilon = 0 gives shrink = 1,
 	// and x*1 == x for floats, so the exact path is untouched.
@@ -480,29 +497,51 @@ func (t *Tree) searchKNN(ctx context.Context, c *QueryContext, q geom.Point, k i
 		}
 		span := tr.Visit(v.span, uint32(v.child), n.leaf, hit)
 		if n.leaf {
-			qc.tally.scanned += len(n.pts)
-			tr.Scan(span, len(n.pts))
-			if useSq {
+			qc.tally.scanned += n.count()
+			tr.Scan(span, n.count())
+			switch {
+			case useSlab:
+				// Batch kernel against the bound at leaf entry. A candidate
+				// whose exact distance beats only the *stale* bound reaches
+				// Offer, which rejects it with no state change (priority >=
+				// current worst) — exactly the candidates the per-point loop
+				// skipped after refreshing the bound, so results and Hit
+				// counts are identical to the scalar path.
 				bound := math.Inf(1)
 				if best.Full() {
 					bound = best.Bound()
 				}
-				for i, p := range n.pts {
-					d2 := sqm.DistanceSqBounded(q, p, bound)
+				out := qc.distSlab(n.count())
+				slm.DistanceSqSlab(q, n.vals, n.dim, bound, out)
+				for i, d2 := range out {
 					if d2 > bound {
 						continue // abandoned or beaten; Offer would reject it
 					}
-					if best.Offer(Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d2}, d2) {
+					if best.Offer(Neighbor{Entry: Entry{Point: n.point(i), RID: n.rids[i]}, Dist: d2}, d2) {
+						tr.Hit(span)
+					}
+				}
+			case useSq:
+				bound := math.Inf(1)
+				if best.Full() {
+					bound = best.Bound()
+				}
+				for i := 0; i < n.count(); i++ {
+					d2 := sqm.DistanceSqBounded(q, n.point(i), bound)
+					if d2 > bound {
+						continue // abandoned or beaten; Offer would reject it
+					}
+					if best.Offer(Neighbor{Entry: Entry{Point: n.point(i), RID: n.rids[i]}, Dist: d2}, d2) {
 						tr.Hit(span)
 					}
 					if best.Full() {
 						bound = best.Bound()
 					}
 				}
-			} else {
-				for i, p := range n.pts {
-					d := m.Distance(q, p)
-					if best.Offer(Neighbor{Entry: Entry{Point: p, RID: n.rids[i]}, Dist: d}, d) {
+			default:
+				for i := 0; i < n.count(); i++ {
+					d := m.Distance(q, n.point(i))
+					if best.Offer(Neighbor{Entry: Entry{Point: n.point(i), RID: n.rids[i]}, Dist: d}, d) {
 						tr.Hit(span)
 					}
 				}

@@ -186,18 +186,18 @@ func (EDAMedianPolicy) ChooseIndexDim(cands []IndexSplitCandidate, cfg *Config) 
 func (t *Tree) splitDataNode(n *node) (splitResult, error) {
 	t.countSplit(true)
 	br := n.dataRect()
-	dim, pos := t.cfg.Policy.ChooseDataSplit(n.pts, br)
+	dim, pos := t.cfg.Policy.ChooseDataSplit(n.materializePoints(nil), br)
 
 	// Order entry indices by the split coordinate and clamp the split index
 	// so each side receives at least minDataFill entries (footnote 1 of the
 	// paper: shift from the middle just enough to satisfy utilization).
-	order := make([]int, len(n.pts))
+	order := make([]int, n.count())
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return n.pts[order[a]][dim] < n.pts[order[b]][dim] })
+	sort.SliceStable(order, func(a, b int) bool { return n.coord(order[a], dim) < n.coord(order[b], dim) })
 
-	cut := sort.Search(len(order), func(i int) bool { return n.pts[order[i]][dim] > pos })
+	cut := sort.Search(len(order), func(i int) bool { return n.coord(order[i], dim) > pos })
 	minFill := t.cfg.minDataFill()
 	if cut < minFill {
 		cut = minFill
@@ -208,23 +208,22 @@ func (t *Tree) splitDataNode(n *node) (splitResult, error) {
 	// The realized split position separates the two sides; with duplicate
 	// coordinates both sides may touch it, which the two-split-position
 	// representation accommodates (both BRs include the boundary).
-	split := (n.pts[order[cut-1]][dim] + n.pts[order[cut]][dim]) / 2
+	split := (n.coord(order[cut-1], dim) + n.coord(order[cut], dim)) / 2
 
 	right, err := t.store.alloc(true)
 	if err != nil {
 		return splitResult{}, err
 	}
-	leftPts := make([]geom.Point, 0, cut)
+	leftVals := make([]float32, 0, cut*n.dim)
 	leftRids := make([]RecordID, 0, cut)
 	for _, i := range order[:cut] {
-		leftPts = append(leftPts, n.pts[i])
+		leftVals = append(leftVals, n.point(i)...)
 		leftRids = append(leftRids, n.rids[i])
 	}
 	for _, i := range order[cut:] {
-		right.pts = append(right.pts, n.pts[i])
-		right.rids = append(right.rids, n.rids[i])
+		right.appendPoint(n.point(i), n.rids[i])
 	}
-	n.pts, n.rids = leftPts, leftRids
+	n.vals, n.rids = leftVals, leftRids
 
 	if err := t.store.put(n); err != nil {
 		return splitResult{}, err

@@ -397,7 +397,7 @@ func (s *store) alloc(leaf bool) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &node{id: id, leaf: leaf, kdRoot: kdNone}
+	n := &node{id: id, leaf: leaf, dim: s.dim, kdRoot: kdNone}
 	if s.mut.active {
 		s.mut.fresh[id] = struct{}{}
 		s.mut.freshOrder = append(s.mut.freshOrder, id)

@@ -462,9 +462,8 @@ func (t *Tree) insertAt(id pagefile.PageID, br geom.Rect, p geom.Point, rid Reco
 		return nil, err
 	}
 	if n.leaf {
-		n.pts = append(n.pts, p)
-		n.rids = append(n.rids, rid)
-		if len(n.pts) > t.cfg.dataCapacity() {
+		n.appendPoint(p, rid)
+		if n.count() > t.cfg.dataCapacity() {
 			sr, err := t.splitDataNode(n)
 			if err != nil {
 				return nil, err
@@ -707,13 +706,10 @@ func (t *Tree) deleteAt(id pagefile.PageID, br geom.Rect, p geom.Point, rid Reco
 		return false, false, err
 	}
 	if n.leaf {
-		for i := range n.pts {
-			if n.rids[i] == rid && n.pts[i].Equal(p) {
-				last := len(n.pts) - 1
-				n.pts[i], n.rids[i] = n.pts[last], n.rids[last]
-				n.pts = n.pts[:last]
-				n.rids = n.rids[:last]
-				return true, len(n.pts) == 0, t.store.put(n)
+		for i := range n.rids {
+			if n.rids[i] == rid && n.point(i).Equal(p) {
+				n.swapRemove(i)
+				return true, n.count() == 0, t.store.put(n)
 			}
 		}
 		return false, false, nil
@@ -787,8 +783,8 @@ func (t *Tree) deleteAt(id pagefile.PageID, br geom.Rect, p geom.Point, rid Reco
 		if err != nil {
 			return false, false, err
 		}
-		if child.leaf && len(child.pts) < t.cfg.minDataFill() && n.removeChild(c.child) {
-			*orphanPts = append(*orphanPts, child.pts...)
+		if child.leaf && child.count() < t.cfg.minDataFill() && n.removeChild(c.child) {
+			*orphanPts = child.materializePoints(*orphanPts)
 			*orphanRids = append(*orphanRids, child.rids...)
 			if err := t.store.free(c.child); err != nil {
 				return false, false, err
@@ -838,7 +834,7 @@ func (t *Tree) rebuildELSAt(id pagefile.PageID) (geom.Rect, error) {
 	}
 	live := geom.EmptyRect(t.cfg.Dim)
 	if n.leaf {
-		if len(n.pts) > 0 {
+		if n.count() > 0 {
 			live = n.dataRect()
 		}
 	} else {

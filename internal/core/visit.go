@@ -39,17 +39,16 @@ func (t *Tree) SearchBoxFunc(q geom.Rect, fn func(Entry) bool) error {
 		}
 		span := tr.Visit(v.span, uint32(v.child), n.leaf, hit)
 		if n.leaf {
-			qc.tally.scanned += len(n.pts)
-			tr.Scan(span, len(n.pts))
-			for i, p := range n.pts {
-				if q.Contains(p) {
-					tr.Hit(span)
-					accepted++
-					if !fn(Entry{Point: p, RID: n.rids[i]}) {
-						qc.pending = pending[:0]
-						t.finishQuery(qc, opBox, start, accepted, nil)
-						return nil
-					}
+			qc.tally.scanned += n.count()
+			tr.Scan(span, n.count())
+			qc.hits = dist.FilterBoxSlab(q.Lo, q.Hi, n.vals, n.dim, qc.hits[:0])
+			for _, i := range qc.hits {
+				tr.Hit(span)
+				accepted++
+				if !fn(Entry{Point: n.point(int(i)), RID: n.rids[i]}) {
+					qc.pending = pending[:0]
+					t.finishQuery(qc, opBox, start, accepted, nil)
+					return nil
 				}
 			}
 			continue

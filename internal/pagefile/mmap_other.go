@@ -1,0 +1,18 @@
+//go:build !unix
+
+package pagefile
+
+import (
+	"errors"
+	"os"
+)
+
+// errMmapUnsupported makes OpenMmapFile fall back to ReadAt on platforms
+// without a usable mmap; the file still works, Mapped() reports false.
+var errMmapUnsupported = errors.New("pagefile: mmap not supported on this platform")
+
+func mmapReadOnly(f *os.File, size int) ([]byte, error) {
+	return nil, errMmapUnsupported
+}
+
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package pagefile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapReadOnly maps size bytes of f read-only and shared, so the kernel's
+// page cache backs the data directly and multiple processes mapping the same
+// index share physical memory.
+func mmapReadOnly(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmap releases a mapping created by mmapReadOnly.
+func munmap(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -133,6 +133,7 @@ var (
 	ErrPageFreed  = errors.New("pagefile: access to freed page")
 	ErrTooLarge   = errors.New("pagefile: write exceeds page size")
 	ErrClosed     = errors.New("pagefile: file is closed")
+	ErrReadOnly   = errors.New("pagefile: file is read-only")
 )
 
 // MemFile is an in-memory File. It is what the benchmark harness uses: the
