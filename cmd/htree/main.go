@@ -27,6 +27,7 @@ import (
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
 	"hybridtree/internal/pagefile"
+	"hybridtree/internal/wal"
 )
 
 func main() {
@@ -53,6 +54,9 @@ func main() {
 		deadline = fs.Duration("deadline", 0, "query: context deadline; an expired query aborts with no results (0 disables)")
 		budgetPg = fs.Int("budget-pages", 0, "query: page-read budget; an exhausted query degrades to a partial answer (0 = unlimited)")
 		mmap     = fs.Bool("mmap", false, "query: open the index read-only through a memory mapping")
+		walOn    = fs.Bool("wal", false, "write ahead through <db>.wal: every build insert is committed and fsynced before it is acknowledged, and reopening replays any tail a crash left behind")
+		fsyncEv  = fs.Int("fsync-every", 1, "wal: fsync the log every N commits; above 1 the last N-1 acknowledged commits can be lost to a crash")
+		ckptOps  = fs.Int("checkpoint-ops", 0, "wal build: checkpoint (flush pages, truncate the log) every N inserts (0 = only at close)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -60,12 +64,16 @@ func main() {
 	if *db == "" || *dim == 0 {
 		fatal("-db and -dim are required")
 	}
+	if *walOn && *mmap {
+		fatal("-wal and -mmap are incompatible: a memory mapping is read-only and replay must be able to write recovered pages")
+	}
 
 	switch cmd {
 	case "build":
-		build(*db, *dim, *pageSize, *csvPath, *dsName, *n, *seed, *bulk)
+		build(*db, *dim, *pageSize, *csvPath, *dsName, *n, *seed, *bulk,
+			walConfig{on: *walOn, fsyncEvery: *fsyncEv, checkpointOps: *ckptOps})
 	case "knn", "range", "box", "explain", "stats", "verify":
-		file, err := openRead(*db, *pageSize, *mmap)
+		file, err := openRead(*db, *pageSize, *mmap, *walOn, *fsyncEv)
 		check(err)
 		defer file.Close()
 		tree, err := core.Open(file, core.Config{Dim: *dim, PageSize: *pageSize})
@@ -107,20 +115,63 @@ func check(err error) {
 	}
 }
 
+// walConfig carries the -wal knobs into build.
+type walConfig struct {
+	on            bool
+	fsyncEvery    int
+	checkpointOps int
+}
+
+// walPath is where the log lives, next to the index file.
+func walPath(db string) string { return db + ".wal" }
+
+// openWAL stacks the write-ahead log over base, replaying any committed
+// tail the log holds. Recovery is reported because it is the user-visible
+// sign that the last session crashed.
+func openWAL(base pagefile.File, db string, fsyncEvery int) (pagefile.File, error) {
+	log, err := wal.OpenFileLog(walPath(db))
+	if err != nil {
+		return nil, err
+	}
+	f, rec, err := wal.Open(base, log, wal.Options{FsyncEvery: fsyncEvery})
+	if err != nil {
+		return nil, err
+	}
+	if rec.Txs > 0 || rec.Discarded > 0 || rec.TornBytes > 0 {
+		fmt.Fprintf(os.Stderr, "htree: recovered %s: %d transactions replayed (%d records), %d uncommitted records discarded, %d torn bytes dropped\n",
+			walPath(db), rec.Txs, rec.Replayed, rec.Discarded, rec.TornBytes)
+	}
+	return f, nil
+}
+
 // openRead opens an existing index for the read-only query commands: through
 // a read-only memory mapping when -mmap is set (the query commands never
 // write pages, so MmapFile's ErrReadOnly surface is unreachable), otherwise
-// read-write through the ordinary disk file.
-func openRead(path string, pageSize int, mmap bool) (pagefile.File, error) {
+// read-write through the ordinary disk file — with the WAL stacked on top
+// when -wal is set, so a crashed build's committed tail is replayed before
+// the query runs.
+func openRead(path string, pageSize int, mmap, walOn bool, fsyncEvery int) (pagefile.File, error) {
 	if mmap {
 		return pagefile.OpenMmapFile(path, pageSize)
 	}
-	return pagefile.OpenDiskFile(path, pageSize)
+	file, err := pagefile.OpenDiskFile(path, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	if walOn {
+		return openWAL(file, path, fsyncEvery)
+	}
+	return file, nil
 }
 
-func build(db string, dim, pageSize int, csvPath, dsName string, n int, seed int64, bulk bool) {
-	file, err := pagefile.CreateDiskFile(db, pageSize)
+func build(db string, dim, pageSize int, csvPath, dsName string, n int, seed int64, bulk bool, wc walConfig) {
+	disk, err := pagefile.CreateDiskFile(db, pageSize)
 	check(err)
+	var file pagefile.File = disk
+	if wc.on {
+		file, err = openWAL(disk, db, wc.fsyncEvery)
+		check(err)
+	}
 	defer file.Close()
 
 	start := time.Now()
@@ -138,6 +189,9 @@ func build(db string, dim, pageSize int, csvPath, dsName string, n int, seed int
 			bulkRids = append(bulkRids, rid)
 		} else {
 			check(tree.Insert(p, rid))
+			if wc.on && wc.checkpointOps > 0 && (count+1)%wc.checkpointOps == 0 {
+				check(tree.Flush())
+			}
 		}
 		count++
 	}
@@ -186,8 +240,13 @@ func build(db string, dim, pageSize int, csvPath, dsName string, n int, seed int
 		check(err)
 	}
 	check(tree.Close())
+	if wc.on {
+		// Final checkpoint: flush every recovered-overlay page into the
+		// index file and truncate the log, so the index stands alone.
+		check(tree.Flush())
+	}
 	fmt.Printf("built %s: %d entries, height %d, %d pages, %v\n",
-		db, count, tree.Height(), file.NumPages(), time.Since(start).Round(time.Millisecond))
+		db, count, tree.Height(), disk.NumPages(), time.Since(start).Round(time.Millisecond))
 }
 
 func parsePoint(s string, dim int) geom.Point {

@@ -16,6 +16,7 @@ import (
 
 	"hybridtree/internal/core"
 	"hybridtree/internal/obs"
+	"hybridtree/internal/pagefile"
 	"hybridtree/internal/sim"
 )
 
@@ -36,6 +37,13 @@ func main() {
 		maxLeaked  = flag.Int("max-leaked", -1, "fail if any index leaks more than this many pages after the final flush (-1 disables; CI passes 0)")
 		verbose    = flag.Bool("v", false, "per-index reports")
 		obsAddr    = flag.String("obs", "", "serve the introspection endpoint on this address (e.g. localhost:6060) for the duration of the run")
+
+		crash      = flag.Bool("crash", false, "run the WAL kill/reopen differential loop instead of the multi-index run")
+		kills      = flag.Int("kills", 200, "crash mode: number of kill points")
+		meanSeg    = flag.Int("mean-segment", 8, "crash mode: average ops between kills")
+		ckptOps    = flag.Int("checkpoint-ops", 40, "crash mode: checkpoint every N acked mutations with faults live (0 = only post-kill)")
+		fsyncEvery = flag.Int("fsync-every", 1, "crash mode: group-commit width; >1 weakens acked=>durable and will diverge")
+		killSeed   = flag.Int64("kill-seed", 0, "crash mode: kill schedule seed (default seed+2)")
 	)
 	flag.Parse()
 
@@ -55,6 +63,21 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown fault profile %q (want off, light, heavy)\n", *faults)
 		os.Exit(2)
+	}
+	if *crash {
+		runCrash(sim.CrashConfig{
+			Trace:         sim.TraceConfig{Seed: *seed, Ops: *ops, Dim: *dim},
+			PageSize:      *page,
+			Kills:         *kills,
+			MeanSegment:   *meanSeg,
+			CheckpointOps: *ckptOps,
+			FsyncEvery:    *fsyncEvery,
+			Faults:        crashFaults(profile),
+			FaultSeed:     *faultSeed,
+			KillSeed:      *killSeed,
+			MaxLeaked:     max(*maxLeaked, 0),
+		}, *repeat, *verbose)
+		return
 	}
 	cfg := sim.Config{
 		Trace:      sim.TraceConfig{Seed: *seed, Ops: *ops, Dim: *dim},
@@ -100,6 +123,51 @@ func main() {
 	}
 	fmt.Printf("ok: %d run(s) x %d ops over [%s], faults=%s, digest=%016x\n",
 		*repeat, *ops, *indexes, *faults, digest)
+}
+
+// crashFaults adapts a named profile for the crash loop: failed fsyncs
+// join the diet (the WAL claims to survive them), lying fsyncs never do
+// (no log can — RunCrash rejects such profiles outright).
+func crashFaults(p pagefile.ChaosProfile) pagefile.ChaosProfile {
+	if !p.Zero() {
+		p.SyncErr = 0.05
+	}
+	p.SyncLost = 0
+	return p
+}
+
+// runCrash drives the kill/reopen loop, optionally -repeat times with
+// digests required to match, and exits nonzero on divergence.
+func runCrash(cfg sim.CrashConfig, repeat int, verbose bool) {
+	var digest uint64
+	for run := 0; run < repeat; run++ {
+		rep, err := sim.RunCrash(cfg)
+		if err != nil {
+			var d *sim.Divergence
+			if errors.As(err, &d) {
+				fmt.Fprintf(os.Stderr, "DIVERGENCE: %v\n", d)
+				fmt.Fprintf(os.Stderr, "replay: go run ./cmd/simulate -crash -seed %d -kills %d -fault-seed %d -kill-seed %d\n",
+					cfg.Trace.Seed, cfg.Kills, cfg.FaultSeed, cfg.KillSeed)
+			} else {
+				fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+			}
+			os.Exit(1)
+		}
+		if run == 0 {
+			digest = rep.Digest
+			if verbose {
+				fmt.Printf("crash: kills=%d ops=%d acked=%d rejected=%d txs-replayed=%d records=%d discarded=%d torn-bytes=%d ckpt-failed=%d/%d size=%d digest=%016x\n",
+					rep.Kills, rep.Ops, rep.Acked, rep.Rejected, rep.TxsReplayed,
+					rep.RecordsReplayed, rep.RecordsDiscarded, rep.TornBytes,
+					rep.CheckpointFailures, rep.Checkpoints, rep.FinalSize, rep.Digest)
+			}
+		} else if rep.Digest != digest {
+			fmt.Fprintf(os.Stderr, "NONDETERMINISM: crash run %d digest %016x != run 0 digest %016x (seed %d)\n",
+				run, rep.Digest, digest, cfg.Trace.Seed)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("ok: crash loop, %d run(s) x %d kills, digest=%016x\n", repeat, cfg.Kills, digest)
 }
 
 // fail reports a divergence with a minimized reproducer and exits 1.

@@ -1,0 +1,151 @@
+package concurrent
+
+import (
+	"sync"
+
+	"hybridtree/internal/core"
+	"hybridtree/internal/geom"
+	"hybridtree/internal/obs"
+)
+
+// groupOp is one writer's queued mutation and its reply channel.
+type groupOp struct {
+	delete bool
+	p      geom.Point
+	rid    core.RecordID
+	done   chan groupResult
+}
+
+type groupResult struct {
+	found bool // Delete only
+	err   error
+}
+
+// GroupCommitter amortizes the write-ahead log's fsync across concurrent
+// writers. Callers' Insert/Delete calls queue behind the MVCC commit
+// point; a single worker drains the queue and applies each batch inside
+// one core.RunTx — one transaction, one commit record, one fsync — then
+// fans the acknowledgement back out. Every acknowledged operation carries
+// the same durability guarantee as a direct call: the shared fsync covers
+// the whole batch, and a batch that fails durability rolls back and is
+// retried operation by operation so each caller gets its own verdict.
+//
+// Without a transactional file underneath this still batches the writer
+// lock like InsertBatch, it just cannot amortize what doesn't exist.
+type GroupCommitter struct {
+	t        *Tree
+	ch       chan *groupOp
+	maxBatch int
+	wg       sync.WaitGroup
+
+	closeOnce sync.Once
+
+	batchSizes *obs.Histogram
+	batches    *obs.Counter
+}
+
+// NewGroupCommitter starts the commit worker. maxBatch bounds how many
+// queued operations one transaction may absorb (≤ 0 means 64).
+func NewGroupCommitter(t *Tree, maxBatch int) *GroupCommitter {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	r := obs.Default()
+	g := &GroupCommitter{
+		t:          t,
+		ch:         make(chan *groupOp, 4*maxBatch),
+		maxBatch:   maxBatch,
+		batchSizes: r.Histogram("wal_group_commit_batch_size"),
+		batches:    r.Counter("wal_group_commit_batches_total"),
+	}
+	g.wg.Add(1)
+	go g.run()
+	return g
+}
+
+// Insert queues the insert and blocks until its group commits (or fails).
+func (g *GroupCommitter) Insert(p geom.Point, rid core.RecordID) error {
+	op := &groupOp{p: p, rid: rid, done: make(chan groupResult, 1)}
+	g.ch <- op
+	return (<-op.done).err
+}
+
+// Delete queues the delete and blocks until its group commits (or fails).
+func (g *GroupCommitter) Delete(p geom.Point, rid core.RecordID) (bool, error) {
+	op := &groupOp{delete: true, p: p, rid: rid, done: make(chan groupResult, 1)}
+	g.ch <- op
+	res := <-op.done
+	return res.found, res.err
+}
+
+// Close drains queued operations and stops the worker. Operations
+// submitted after Close panic (send on closed channel), matching the
+// usual lifecycle contract: stop producers first.
+func (g *GroupCommitter) Close() {
+	g.closeOnce.Do(func() { close(g.ch) })
+	g.wg.Wait()
+}
+
+func (g *GroupCommitter) run() {
+	defer g.wg.Done()
+	for op := range g.ch {
+		batch := []*groupOp{op}
+		for len(batch) < g.maxBatch {
+			select {
+			case next, ok := <-g.ch:
+				if !ok {
+					g.commit(batch)
+					return
+				}
+				batch = append(batch, next)
+			default:
+				goto full
+			}
+		}
+	full:
+		g.commit(batch)
+	}
+}
+
+// commit applies one batch as a single transaction; on failure it retries
+// each operation alone so acknowledgements stay per-operation exact.
+func (g *GroupCommitter) commit(batch []*groupOp) {
+	g.batches.Inc()
+	g.batchSizes.Observe(int64(len(batch)))
+	results := make([]groupResult, len(batch))
+	g.t.mu.Lock()
+	err := g.t.tree.RunTx(func() error {
+		for i, op := range batch {
+			if op.delete {
+				found, err := g.t.tree.Delete(op.p, op.rid)
+				if err != nil {
+					return err
+				}
+				results[i] = groupResult{found: found}
+			} else if err := g.t.tree.Insert(op.p, op.rid); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil && len(batch) > 1 {
+		// The whole batch rolled back; one bad operation must not fail its
+		// neighbors. Re-run individually — each as its own transaction.
+		for i, op := range batch {
+			if op.delete {
+				found, derr := g.t.tree.Delete(op.p, op.rid)
+				results[i] = groupResult{found: found, err: derr}
+			} else {
+				results[i] = groupResult{err: g.t.tree.Insert(op.p, op.rid)}
+			}
+		}
+		err = nil
+	}
+	g.t.mu.Unlock()
+	for i, op := range batch {
+		if err != nil {
+			results[i] = groupResult{err: err}
+		}
+		op.done <- results[i]
+	}
+}

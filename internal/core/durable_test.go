@@ -1,0 +1,300 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hybridtree/internal/geom"
+	"hybridtree/internal/pagefile"
+	"hybridtree/internal/wal"
+)
+
+func seededPoints(seed int64, n, dim int) ([]geom.Point, []RecordID) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	rids := make([]RecordID, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = float32(rng.Float64())
+		}
+		pts[i] = p
+		rids[i] = RecordID(i + 1)
+	}
+	return pts, rids
+}
+
+func allEntries(t *testing.T, tree *Tree) []Entry {
+	t.Helper()
+	got, err := tree.SearchBox(tree.Config().Space)
+	if err != nil {
+		t.Fatalf("SearchBox: %v", err)
+	}
+	return got
+}
+
+// TestFlushMakesDurable is the regression for the silent-durability gap:
+// Flush used to rewrite pages without ever syncing, so "the on-disk image
+// matches memory" was only true until the next power cut. Now a clean
+// Flush must survive a crash of everything volatile.
+func TestFlushMakesDurable(t *testing.T) {
+	const dim, pageSize, n = 3, 512, 300
+	file := pagefile.NewCrashFile(pageSize)
+	tree, err := New(file, Config{Dim: dim, PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, rids := seededPoints(41, n, dim)
+	for i := range pts {
+		if err := tree.Insert(pts[i], rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if file.VolatilePages() != 0 {
+		t.Fatalf("%d pages still volatile after Flush — Flush did not sync", file.VolatilePages())
+	}
+
+	file.Crash(42)
+	reopened, err := Open(file, Config{Dim: dim, PageSize: pageSize})
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	if got := len(allEntries(t, reopened)); got != n {
+		t.Fatalf("recovered %d records, want %d", got, n)
+	}
+	if err := reopened.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after crash: %v", err)
+	}
+}
+
+// TestFlushReportsSyncFailure: a failed fsync must fail the Flush — the
+// caller was promised durability and didn't get it.
+func TestFlushReportsSyncFailure(t *testing.T) {
+	const dim, pageSize = 2, 512
+	inner := pagefile.NewCrashFile(pageSize)
+	chaos := pagefile.NewChaosFile(inner, pagefile.ChaosProfile{SyncErr: 1}, 7)
+	chaos.SetEnabled(false)
+	tree, err := New(chaos, Config{Dim: dim, PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(geom.Point{0.5, 0.5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	chaos.SetEnabled(true)
+	if err := tree.Flush(); !errors.Is(err, pagefile.ErrInjected) {
+		t.Fatalf("Flush with failing fsync: err = %v, want ErrInjected", err)
+	}
+	if c := chaos.Counts(); c.SyncErrs == 0 {
+		t.Fatalf("sync fault was not injected: %+v", c)
+	}
+	chaos.SetEnabled(false)
+	if err := tree.Flush(); err != nil {
+		t.Fatalf("clean Flush after fault: %v", err)
+	}
+}
+
+// TestLostSyncStaysVolatile documents the lying-fsync mode: Sync reports
+// success but the device never persisted. Flush cannot detect it (neither
+// can a real database), which is why the WAL's log-before-ack protocol —
+// not Flush — is the durability story under this fault.
+func TestLostSyncStaysVolatile(t *testing.T) {
+	const dim, pageSize = 2, 512
+	inner := pagefile.NewCrashFile(pageSize)
+	chaos := pagefile.NewChaosFile(inner, pagefile.ChaosProfile{SyncLost: 1}, 7)
+	tree, err := New(chaos, Config{Dim: dim, PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(geom.Point{0.25, 0.75}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if c := chaos.Counts(); c.SyncLost == 0 {
+		t.Fatalf("lost-sync fault was not injected: %+v", c)
+	}
+	if inner.VolatilePages() == 0 {
+		t.Fatalf("pages became durable despite the lost sync")
+	}
+}
+
+// newWALTree builds the durable stack the simulator crashes: a tree over
+// wal.File(ChecksumFile(CrashFile)) plus a MemLog.
+func newWALTree(t *testing.T, dim, pageSize int) (*Tree, *wal.File, *pagefile.CrashFile, *wal.MemLog) {
+	t.Helper()
+	inner := pagefile.NewCrashFile(pageSize)
+	sum := pagefile.NewChecksumFile(inner)
+	log := wal.NewMemLog()
+	wf, _, err := wal.Open(sum, log, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := New(wf, Config{Dim: dim, PageSize: sum.PageSize()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, wf, inner, log
+}
+
+// TestCheckpointWithPinnedReaders: log truncation must not disturb a
+// pinned MVCC snapshot — checkpoints move bytes between files, versions
+// live in memory and answer to the epoch, not the log.
+func TestCheckpointWithPinnedReaders(t *testing.T) {
+	const dim, pageSize, n = 3, 512, 250
+	tree, wf, _, log := newWALTree(t, dim, pageSize)
+	pts, rids := seededPoints(43, n, dim)
+	for i := 0; i < n/2; i++ {
+		if err := tree.Insert(pts[i], rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pin the half-built snapshot, then keep writing and checkpoint while
+	// it stays pinned.
+	release := tree.Pin()
+	before := allEntries(t, tree)
+	if log.Size() == 0 {
+		t.Fatalf("no log activity before checkpoint")
+	}
+	for i := n / 2; i < n; i++ {
+		if err := tree.Insert(pts[i], rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Flush(); err != nil { // checkpoint: flush overlay, truncate log
+		t.Fatalf("Flush: %v", err)
+	}
+	if log.Size() != 0 {
+		t.Fatalf("log size %d after checkpoint, want 0", log.Size())
+	}
+	if wf.OverlayPages() != 0 {
+		t.Fatalf("overlay not drained by checkpoint")
+	}
+	if err := tree.CheckInvariantsSnapshot(); err != nil {
+		t.Fatalf("snapshot invariants during pin: %v", err)
+	}
+	after := allEntries(t, tree)
+	if len(after) != n {
+		t.Fatalf("reader sees %d records after checkpoint, want %d", len(after), n)
+	}
+	_ = before
+	release()
+	tree.Reclaim()
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after unpin: %v", err)
+	}
+}
+
+// TestWALTreeCrashRecovery drives the full stack once end to end: build,
+// crash without any checkpoint, reopen, and compare contents exactly.
+func TestWALTreeCrashRecovery(t *testing.T) {
+	const dim, pageSize, n = 3, 512, 120
+	tree, _, inner, log := newWALTree(t, dim, pageSize)
+	pts, rids := seededPoints(44, n, dim)
+	for i := range pts {
+		if err := tree.Insert(pts[i], rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := allEntries(t, tree)
+
+	inner.Crash(45)
+	log.Crash(46)
+	sum := pagefile.NewChecksumFile(inner)
+	wf2, rec, err := wal.Open(sum, log, wal.Options{})
+	if err != nil {
+		t.Fatalf("wal.Open after crash: %v", err)
+	}
+	if rec.Txs == 0 {
+		t.Fatalf("nothing replayed: %+v", rec)
+	}
+	reopened, err := Open(wf2, Config{Dim: dim, PageSize: sum.PageSize()})
+	if err != nil {
+		t.Fatalf("core.Open after crash: %v", err)
+	}
+	got := allEntries(t, reopened)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered contents differ: %d vs %d records", len(got), len(want))
+	}
+	if err := reopened.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after recovery: %v", err)
+	}
+	if err := reopened.Flush(); err != nil {
+		t.Fatalf("recovery Flush: %v", err)
+	}
+	if reopened.LeakedPages() != 0 {
+		t.Fatalf("LeakedPages = %d after recovery Flush", reopened.LeakedPages())
+	}
+}
+
+// TestRunTxBatchesAtomically: several mutations inside one RunTx either
+// all commit (one durable transaction) or all roll back.
+func TestRunTxBatchesAtomically(t *testing.T) {
+	const dim, pageSize = 2, 512
+	tree, wf, inner, log := newWALTree(t, dim, pageSize)
+	pts, rids := seededPoints(47, 40, dim)
+
+	fsyncsBefore := inner.Stats().Snapshot()
+	_ = fsyncsBefore
+	seqBefore := wf.Seq()
+	err := tree.RunTx(func() error {
+		for i := 0; i < 20; i++ {
+			if err := tree.Insert(pts[i], rids[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunTx: %v", err)
+	}
+	if wf.Seq() != seqBefore+1 {
+		t.Fatalf("batch used %d transactions, want 1", wf.Seq()-seqBefore)
+	}
+	if got := len(allEntries(t, tree)); got != 20 {
+		t.Fatalf("size %d after batch, want 20", got)
+	}
+
+	// A failing batch rolls everything back together.
+	errBoom := errors.New("boom")
+	err = tree.RunTx(func() error {
+		for i := 20; i < 30; i++ {
+			if err := tree.Insert(pts[i], rids[i]); err != nil {
+				return err
+			}
+		}
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("RunTx error = %v, want boom", err)
+	}
+	if got := len(allEntries(t, tree)); got != 20 {
+		t.Fatalf("size %d after aborted batch, want 20", got)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after aborted batch: %v", err)
+	}
+
+	// The rolled-back state is also the recovered state.
+	inner.Crash(48)
+	log.Crash(49)
+	sum := pagefile.NewChecksumFile(inner)
+	wf2, _, err := wal.Open(sum, log, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(wf2, Config{Dim: dim, PageSize: sum.PageSize()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(allEntries(t, reopened)); got != 20 {
+		t.Fatalf("recovered size %d, want 20", got)
+	}
+}

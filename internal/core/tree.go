@@ -21,7 +21,12 @@ import (
 type Tree struct {
 	cfg    Config
 	file   pagefile.File
-	store  *store
+	// tx is non-nil when file supports transactional durability
+	// (pagefile.TxFile — the write-ahead log). Each top-level mutation is
+	// then bracketed in a transaction and sealed durable before it is
+	// acknowledged; see sealMutation.
+	tx    pagefile.TxFile
+	store *store
 	els    *els.Table
 	meta   pagefile.PageID
 	root   pagefile.PageID
@@ -99,7 +104,28 @@ func (t *Tree) beginMutation() mutationScope {
 		return mutationScope{nested: true}
 	}
 	t.store.beginMut()
+	if t.tx != nil {
+		t.tx.BeginTx()
+	}
 	return mutationScope{root: t.root, height: t.height, size: t.size}
+}
+
+// sealMutation makes an outermost mutation durable before it is
+// acknowledged: the metadata page is rewritten inside the transaction (so
+// a recovered file opens with the post-mutation root/size) and the
+// transaction is sealed — the write-ahead log's commit point. The metadata
+// is logged with the ELS snapshot head cleared, because any mutation makes
+// a previously saved snapshot stale; recovery rebuilds the ELS table from
+// the data instead. A non-nil error means durability was NOT reached and
+// the caller must roll back: acknowledged always implies durable.
+func (t *Tree) sealMutation(m mutationScope) error {
+	if m.nested || t.tx == nil {
+		return nil
+	}
+	if err := t.writeMetaAs(pagefile.InvalidPage); err != nil {
+		return err
+	}
+	return t.tx.SealTx()
 }
 
 // rollbackMutation restores the pre-mutation state after an error. Shared
@@ -110,11 +136,23 @@ func (t *Tree) rollbackMutation(m mutationScope) {
 	if m.nested {
 		return
 	}
+	// Drop the staged transaction before repairing pages: the pre-image
+	// rewrites below then log as fresh auto-committed writes, keeping the
+	// WAL's overlay consistent with the restored in-memory state.
+	if t.tx != nil {
+		t.tx.AbortTx()
+	}
 	t.store.rollbackMut()
 	if cur := t.current.Load(); cur != nil {
 		t.els.ResetTo(cur.els)
 	}
 	t.root, t.height, t.size = m.root, m.height, m.size
+	if t.tx != nil {
+		// The aborted transaction may have written the metadata page into
+		// the WAL overlay; restore it so a checkpoint cannot flush a header
+		// describing the rolled-back state.
+		_ = t.writeMetaAs(pagefile.InvalidPage)
+	}
 }
 
 // commitMutation publishes the mutation: every dirty node version is linked
@@ -225,18 +263,50 @@ func (t *Tree) reclaimLeaked() {
 	}
 }
 
-// Flush re-encodes every cached node to its page and rewrites the
-// metadata page. The decoded-node cache is authoritative (write-through,
-// never evicting), so after a period of injected write faults a clean
-// Flush makes the on-disk image match memory again — the repair step to
-// run before dropping caches. Flush also retries the page frees that
-// failed at commit, so a clean Flush leaves LeakedPages at zero.
+// Flush re-encodes every cached node to its page, rewrites the metadata
+// page, and syncs the file, so that when it returns nil the durable image
+// matches memory — not merely the acknowledged one. The decoded-node cache
+// is authoritative (write-through, never evicting), so after a period of
+// injected write faults a clean Flush makes the on-disk image match memory
+// again — the repair step to run before dropping caches. Flush also
+// retries the page frees that failed at commit, so a clean Flush leaves
+// LeakedPages at zero. Under a write-ahead log the node rewrite is skipped
+// (the log's overlay is already authoritative over the inner file) and the
+// sync is the checkpoint that flushes the overlay and truncates the log.
 func (t *Tree) Flush() error {
-	if err := t.store.flushAll(); err != nil {
-		return err
+	if t.tx == nil {
+		if err := t.store.flushAll(); err != nil {
+			return err
+		}
 	}
 	t.reclaimLeaked()
-	return t.writeMeta()
+	if err := t.writeMeta(); err != nil {
+		return err
+	}
+	return t.file.Sync()
+}
+
+// RunTx runs fn — any sequence of Insert/Delete calls on this tree — as
+// one atomic mutation sealed by a single commit: one fsync covers the
+// whole batch, which is what the concurrent layer's group commit leans on.
+// If fn returns an error (or durability fails), every operation inside is
+// rolled back together. Without a transactional file it still provides
+// the all-or-nothing in-memory semantics via the shared mutation scope.
+func (t *Tree) RunTx(fn func() error) error {
+	if t.store.mutActive() {
+		return fmt.Errorf("core: RunTx inside an active mutation")
+	}
+	m := t.beginMutation()
+	err := fn()
+	if err == nil {
+		err = t.sealMutation(m)
+	}
+	if err != nil {
+		t.rollbackMutation(m)
+		return err
+	}
+	t.commitMutation(m)
+	return nil
 }
 
 // New creates an empty hybrid tree on file. Page 0 of the file is used for
@@ -258,6 +328,7 @@ func New(file pagefile.File, cfg Config) (*Tree, error) {
 		tracer:  loadDefaultTracer(),
 		metrics: hybridMetrics(),
 	}
+	t.tx, _ = file.(pagefile.TxFile)
 	metaID, err := file.Allocate()
 	if err != nil {
 		return nil, err
@@ -298,6 +369,7 @@ func Open(file pagefile.File, cfg Config) (*Tree, error) {
 		tracer:  loadDefaultTracer(),
 		metrics: hybridMetrics(),
 	}
+	t.tx, _ = file.(pagefile.TxFile)
 	if err := t.readMeta(); err != nil {
 		return nil, err
 	}
@@ -318,7 +390,13 @@ func Open(file pagefile.File, cfg Config) (*Tree, error) {
 
 const metaMagic = "HTREEv1\x00"
 
-func (t *Tree) writeMeta() error {
+func (t *Tree) writeMeta() error { return t.writeMetaAs(t.elsHead) }
+
+// writeMetaAs writes the metadata page with an explicit ELS snapshot head.
+// Transactionally logged metadata always clears it (a mutation makes any
+// saved snapshot stale; recovery rebuilds from the data) without touching
+// t.elsHead, so the normal Close path can still free the superseded chain.
+func (t *Tree) writeMetaAs(elsHead pagefile.PageID) error {
 	buf := make([]byte, 8+4+4+4+8+4+4)
 	copy(buf, metaMagic)
 	binary.LittleEndian.PutUint32(buf[8:], uint32(t.cfg.Dim))
@@ -326,7 +404,7 @@ func (t *Tree) writeMeta() error {
 	binary.LittleEndian.PutUint32(buf[16:], uint32(t.height))
 	binary.LittleEndian.PutUint64(buf[20:], uint64(t.size))
 	binary.LittleEndian.PutUint32(buf[28:], uint32(t.cfg.PageSize))
-	binary.LittleEndian.PutUint32(buf[32:], uint32(t.elsHead))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(elsHead))
 	return t.file.WritePage(t.meta, buf)
 }
 
@@ -410,7 +488,11 @@ func (t *Tree) Insert(p geom.Point, rid RecordID) error {
 	}
 	m := t.beginMutation()
 	tr, start := t.beginTreeMutation(m, mutInsert)
-	if err := t.insertRecord(p, rid); err != nil {
+	err := t.insertRecord(p, rid)
+	if err == nil {
+		err = t.sealMutation(m)
+	}
+	if err != nil {
 		t.rollbackMutation(m)
 		t.finishTreeMutation(mutInsert, tr, start, err)
 		return err
@@ -642,6 +724,9 @@ func (t *Tree) Delete(p geom.Point, rid RecordID) (bool, error) {
 	m := t.beginMutation()
 	tr, start := t.beginTreeMutation(m, mutDelete)
 	found, err := t.deleteRecord(p, rid)
+	if err == nil {
+		err = t.sealMutation(m)
+	}
 	if err != nil {
 		t.rollbackMutation(m)
 		t.finishTreeMutation(mutDelete, tr, start, err)

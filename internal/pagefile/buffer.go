@@ -261,6 +261,16 @@ func (b *Buffered) flushShard(sh *bufShard) error {
 	return nil
 }
 
+// Sync implements File: flush every dirty buffered page, then sync the
+// inner file, so the durability point covers writes still sitting in the
+// buffer.
+func (b *Buffered) Sync() error {
+	if err := b.Flush(); err != nil {
+		return err
+	}
+	return b.inner.Sync()
+}
+
 // Close implements File: flush then close the inner file.
 func (b *Buffered) Close() error {
 	if err := b.Flush(); err != nil {

@@ -26,12 +26,22 @@ type ChaosProfile struct {
 	// AllocErr and FreeErr fail Allocate and Free with ErrInjected.
 	AllocErr float64
 	FreeErr  float64
+	// SyncErr is the probability a Sync fails with ErrInjected and does
+	// nothing: previously acknowledged writes stay volatile. The caller
+	// knows durability was not reached and can retry or abort.
+	SyncErr float64
+	// SyncLost is the probability a Sync reports success without reaching
+	// the inner file — the lying-fsync failure mode. A crash after a lost
+	// sync loses writes the caller believes durable, which is exactly what
+	// the WAL's log-before-ack discipline has to survive.
+	SyncLost float64
 }
 
 // Zero reports whether the profile injects nothing.
 func (p ChaosProfile) Zero() bool {
 	return p.ReadErr == 0 && p.ReadCorrupt == 0 && p.WriteErr == 0 &&
-		p.WriteTorn == 0 && p.WriteShort == 0 && p.AllocErr == 0 && p.FreeErr == 0
+		p.WriteTorn == 0 && p.WriteShort == 0 && p.AllocErr == 0 && p.FreeErr == 0 &&
+		p.SyncErr == 0 && p.SyncLost == 0
 }
 
 // ChaosCounts tallies the faults a ChaosFile actually injected.
@@ -43,12 +53,14 @@ type ChaosCounts struct {
 	WriteShort   uint64
 	AllocErrs    uint64
 	FreeErrs     uint64
+	SyncErrs     uint64
+	SyncLost     uint64
 }
 
 // Total returns the number of injected faults of all kinds.
 func (c ChaosCounts) Total() uint64 {
 	return c.ReadErrs + c.ReadCorrupts + c.WriteErrs + c.WriteTorn +
-		c.WriteShort + c.AllocErrs + c.FreeErrs
+		c.WriteShort + c.AllocErrs + c.FreeErrs + c.SyncErrs + c.SyncLost
 }
 
 // ChaosFile wraps a File and injects faults probabilistically from a seeded
@@ -218,4 +230,40 @@ func (f *ChaosFile) Free(id PageID) error {
 		return ErrInjected
 	}
 	return f.File.Free(id)
+}
+
+// decideSync draws one fault decision for a Sync. The two modes are
+// mutually exclusive and tested in order (error, lost). When both rates are
+// zero no random number is drawn, so profiles written before sync faults
+// existed keep their exact fault schedules.
+func (f *ChaosFile) decideSync() chaosAction {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.profile
+	if !f.enabled || (p.SyncErr == 0 && p.SyncLost == 0) {
+		return actNone
+	}
+	r := f.rng.Float64()
+	switch {
+	case r < p.SyncErr:
+		f.counts.SyncErrs++
+		return actErr
+	case r < p.SyncErr+p.SyncLost:
+		f.counts.SyncLost++
+		return actShort
+	}
+	return actNone
+}
+
+// Sync implements File with probabilistic fault injection: it can fail
+// outright (nothing durable, error reported) or lie — report success while
+// leaving the inner file untouched.
+func (f *ChaosFile) Sync() error {
+	switch f.decideSync() {
+	case actErr:
+		return ErrInjected
+	case actShort: // lost: acknowledged but never reached the device
+		return nil
+	}
+	return f.File.Sync()
 }

@@ -64,6 +64,9 @@ func (f *ChecksumFile) Allocate() (PageID, error) { return f.inner.Allocate() }
 // Free implements File.
 func (f *ChecksumFile) Free(id PageID) error { return f.inner.Free(id) }
 
+// Sync implements File.
+func (f *ChecksumFile) Sync() error { return f.inner.Sync() }
+
 // Close implements File.
 func (f *ChecksumFile) Close() error { return f.inner.Close() }
 

@@ -1,0 +1,209 @@
+package pagefile
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CrashFile is an in-memory File that models the one property MemFile
+// cannot: the difference between an *acknowledged* write and a *durable*
+// one. Writes land in a volatile overlay; Sync materializes the overlay
+// into the durable image. Crash throws the volatile state away the way a
+// power cut would — each unsynced page independently survives intact, is
+// lost entirely, or is torn (a prefix of the new bytes over a suffix of the
+// old), with the damage drawn from a seeded rng so a whole kill schedule is
+// reproducible. The free list is volatile and cleared by Crash, matching
+// DiskFile, whose free list is never persisted either.
+//
+// File *growth* is treated as durable at Allocate time (a Truncate is
+// metadata, and the recovery contract in internal/wal only needs page ids
+// to stay addressable); page *contents* are durable only after Sync.
+type CrashFile struct {
+	pageSize int
+	durable  [][]byte
+	volatile map[PageID][]byte
+	freed    []PageID
+	isFree   map[PageID]bool
+	stats    Stats
+	closed   bool
+
+	// LoseProb and TearProb shape Crash damage per unsynced page: with
+	// probability LoseProb the page's volatile contents vanish, with
+	// TearProb a torn prefix lands, otherwise the write survives whole.
+	LoseProb float64
+	TearProb float64
+}
+
+// NewCrashFile creates a crash-simulating in-memory page file.
+func NewCrashFile(pageSize int) *CrashFile {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &CrashFile{
+		pageSize: pageSize,
+		volatile: make(map[PageID][]byte),
+		isFree:   make(map[PageID]bool),
+		LoseProb: 0.4,
+		TearProb: 0.3,
+	}
+}
+
+// PageSize implements File.
+func (f *CrashFile) PageSize() int { return f.pageSize }
+
+// Stats implements File.
+func (f *CrashFile) Stats() *Stats { return &f.stats }
+
+// NumPages implements File.
+func (f *CrashFile) NumPages() int { return len(f.durable) - len(f.freed) }
+
+func (f *CrashFile) check(id PageID) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if int(id) >= len(f.durable) {
+		return fmt.Errorf("%w: %d >= %d", ErrPageBounds, id, len(f.durable))
+	}
+	if f.isFree[id] {
+		return fmt.Errorf("%w: %d", ErrPageFreed, id)
+	}
+	return nil
+}
+
+func (f *CrashFile) page(id PageID) []byte {
+	if p, ok := f.volatile[id]; ok {
+		return p
+	}
+	return f.durable[id]
+}
+
+// ReadPage implements File: reads observe acknowledged (volatile) contents.
+func (f *CrashFile) ReadPage(id PageID, buf []byte) error {
+	if err := f.check(id); err != nil {
+		return err
+	}
+	f.stats.AddRandomReads(1)
+	copy(buf, f.page(id))
+	return nil
+}
+
+// ReadPageSeq implements File.
+func (f *CrashFile) ReadPageSeq(id PageID, buf []byte) error {
+	if err := f.check(id); err != nil {
+		return err
+	}
+	f.stats.AddSeqReads(1)
+	copy(buf, f.page(id))
+	return nil
+}
+
+// WritePage implements File: the write is acknowledged but stays volatile
+// until the next Sync.
+func (f *CrashFile) WritePage(id PageID, data []byte) error {
+	if err := f.check(id); err != nil {
+		return err
+	}
+	if len(data) > f.pageSize {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), f.pageSize)
+	}
+	f.stats.AddWrites(1)
+	p, ok := f.volatile[id]
+	if !ok {
+		p = make([]byte, f.pageSize)
+		f.volatile[id] = p
+	}
+	n := copy(p, data)
+	for i := n; i < len(p); i++ {
+		p[i] = 0
+	}
+	return nil
+}
+
+// Allocate implements File. Growth is durable immediately (see type doc);
+// freed-page reuse comes from the volatile free list.
+func (f *CrashFile) Allocate() (PageID, error) {
+	if f.closed {
+		return InvalidPage, ErrClosed
+	}
+	f.stats.AddAllocs(1)
+	if n := len(f.freed); n > 0 {
+		id := f.freed[n-1]
+		f.freed = f.freed[:n-1]
+		delete(f.isFree, id)
+		return id, nil
+	}
+	id := PageID(len(f.durable))
+	f.durable = append(f.durable, make([]byte, f.pageSize))
+	return id, nil
+}
+
+// Free implements File. Frees are volatile: a crash forgets them, exactly
+// like DiskFile's unpersisted free list.
+func (f *CrashFile) Free(id PageID) error {
+	if err := f.check(id); err != nil {
+		return err
+	}
+	f.stats.AddFrees(1)
+	f.freed = append(f.freed, id)
+	f.isFree[id] = true
+	delete(f.volatile, id)
+	return nil
+}
+
+// Sync implements File: every volatile page becomes durable.
+func (f *CrashFile) Sync() error {
+	if f.closed {
+		return ErrClosed
+	}
+	f.stats.AddSyncs(1)
+	for id, p := range f.volatile {
+		copy(f.durable[id], p)
+	}
+	clear(f.volatile)
+	return nil
+}
+
+// Close implements File. Closing is not a crash: the volatile overlay is
+// kept, so tests can distinguish a clean shutdown from a power cut (Crash).
+func (f *CrashFile) Close() error {
+	f.closed = true
+	return nil
+}
+
+// Reopen makes a closed file usable again, modeling a process restart
+// attaching to the same disk.
+func (f *CrashFile) Reopen() { f.closed = false }
+
+// VolatilePages returns how many acknowledged pages have not reached the
+// durable image — what a crash right now would put at risk.
+func (f *CrashFile) VolatilePages() int { return len(f.volatile) }
+
+// Crash simulates a power cut: every unsynced page independently survives,
+// vanishes, or tears, with damage drawn from a rng seeded by seed (pages
+// are visited in ascending id order, so the outcome is a pure function of
+// seed and the volatile set). The free list is cleared. The file remains
+// usable afterwards, representing the disk as found on reboot.
+func (f *CrashFile) Crash(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]PageID, 0, len(f.volatile))
+	for id := range f.volatile {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := rng.Float64()
+		switch {
+		case r < f.LoseProb:
+			// lost: durable keeps the old contents
+		case r < f.LoseProb+f.TearProb:
+			k := rng.Intn(f.pageSize + 1)
+			copy(f.durable[id][:k], f.volatile[id][:k])
+		default:
+			copy(f.durable[id], f.volatile[id])
+		}
+	}
+	clear(f.volatile)
+	f.freed = f.freed[:0]
+	clear(f.isFree)
+}

@@ -112,3 +112,12 @@ func (f *FaultFile) Free(id PageID) error {
 	}
 	return f.File.Free(id)
 }
+
+// Sync implements File with fault injection: a failed sync is the classic
+// way durability claims go wrong, so the fuse covers it too.
+func (f *FaultFile) Sync() error {
+	if err := f.spend(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

@@ -119,6 +119,20 @@ func (f *MmapFile) Allocate() (PageID, error) { return InvalidPage, ErrReadOnly 
 // Free implements File; MmapFile is read-only.
 func (f *MmapFile) Free(id PageID) error { return ErrReadOnly }
 
+// Sync implements File. A read-only file has nothing to make durable, so
+// Sync succeeds trivially; write-shaped layers (the WAL) must reject a
+// read-only base up front via the ReadOnly marker instead.
+func (f *MmapFile) Sync() error {
+	if f.closed {
+		return ErrClosed
+	}
+	f.stats.AddSyncs(1)
+	return nil
+}
+
+// ReadOnly implements ReadOnlyFile.
+func (f *MmapFile) ReadOnly() bool { return true }
+
 // Close unmaps the file and releases the descriptor.
 func (f *MmapFile) Close() error {
 	if f.closed {

@@ -41,6 +41,7 @@ type Stats struct {
 	Writes      uint64
 	Allocs      uint64
 	Frees       uint64
+	Syncs       uint64
 }
 
 // AddRandomReads atomically adds n random reads.
@@ -58,6 +59,9 @@ func (s *Stats) AddAllocs(n uint64) { atomic.AddUint64(&s.Allocs, n) }
 // AddFrees atomically adds n frees.
 func (s *Stats) AddFrees(n uint64) { atomic.AddUint64(&s.Frees, n) }
 
+// AddSyncs atomically adds n syncs.
+func (s *Stats) AddSyncs(n uint64) { atomic.AddUint64(&s.Syncs, n) }
+
 // Snapshot returns an atomically-read copy of the counters, safe to take
 // while other goroutines are still counting.
 func (s *Stats) Snapshot() Stats {
@@ -67,6 +71,7 @@ func (s *Stats) Snapshot() Stats {
 		Writes:      atomic.LoadUint64(&s.Writes),
 		Allocs:      atomic.LoadUint64(&s.Allocs),
 		Frees:       atomic.LoadUint64(&s.Frees),
+		Syncs:       atomic.LoadUint64(&s.Syncs),
 	}
 }
 
@@ -78,6 +83,7 @@ func (s *Stats) Reset() {
 	atomic.StoreUint64(&s.Writes, 0)
 	atomic.StoreUint64(&s.Allocs, 0)
 	atomic.StoreUint64(&s.Frees, 0)
+	atomic.StoreUint64(&s.Syncs, 0)
 }
 
 // Reads returns the total number of reads of either kind.
@@ -121,10 +127,50 @@ type File interface {
 	Free(id PageID) error
 	// NumPages returns the number of live (allocated, unfreed) pages.
 	NumPages() int
+	// Sync makes every previously acknowledged write durable: after Sync
+	// returns nil, the writes survive a process kill or power loss. A write
+	// that has only been acknowledged — not synced — may be lost or torn by
+	// a crash. Like WritePage, Sync requires external exclusion against
+	// mutating calls.
+	Sync() error
 	// Stats exposes the operation counters for this file.
 	Stats() *Stats
 	// Close releases underlying resources.
 	Close() error
+}
+
+// TxFile is the optional transactional extension a write-ahead-logged file
+// implements. Callers bracket a group of writes with BeginTx and SealTx;
+// SealTx returning nil means the whole group is durable (will survive a
+// crash) and will be replayed atomically on recovery. SealTx returning an
+// error means none of the group is promised — the caller must restore its
+// in-memory state and re-issue the pre-images as plain writes. Writes made
+// outside a bracket are logged as single-write transactions. AbortTx drops
+// a bracket without logging it. The core tree detects this interface at
+// open time and, when present, seals a transaction per mutation before
+// acknowledging it.
+type TxFile interface {
+	File
+	BeginTx()
+	SealTx() error
+	AbortTx()
+}
+
+// ReadOnlyFile marks a File implementation that rejects all mutations (for
+// example the mmap backend). Layers that need write access up front — the
+// write-ahead log, most prominently — check for it at open time so callers
+// get one typed error instead of a late WritePage failure mid-transaction.
+type ReadOnlyFile interface {
+	ReadOnly() bool
+}
+
+// IsReadOnly reports whether f declares itself read-only. Wrappers that
+// embed the File interface do not forward the marker, so this reliably
+// detects only a directly read-only base — which is exactly the case the
+// WAL needs to reject.
+func IsReadOnly(f File) bool {
+	ro, ok := f.(ReadOnlyFile)
+	return ok && ro.ReadOnly()
 }
 
 // Errors returned by File implementations.
@@ -242,6 +288,17 @@ func (f *MemFile) Free(id PageID) error {
 	f.stats.AddFrees(1)
 	f.freed = append(f.freed, id)
 	f.isFree[id] = true
+	return nil
+}
+
+// Sync implements File. Memory is as durable as a MemFile gets, so this
+// only counts the call; CrashFile is the in-memory backend that actually
+// distinguishes acknowledged from durable state.
+func (f *MemFile) Sync() error {
+	if f.closed {
+		return ErrClosed
+	}
+	f.stats.AddSyncs(1)
 	return nil
 }
 
@@ -410,6 +467,20 @@ func (f *DiskFile) Free(id PageID) error {
 	f.stats.AddFrees(1)
 	f.freed = append(f.freed, id)
 	f.isFree[id] = true
+	return nil
+}
+
+// Sync implements File by fsyncing the underlying OS file.
+func (f *DiskFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.f == nil {
+		return ErrClosed
+	}
+	f.stats.AddSyncs(1)
+	if err := f.f.Sync(); err != nil {
+		return fmt.Errorf("pagefile: sync: %w", err)
+	}
 	return nil
 }
 

@@ -1,0 +1,56 @@
+package wal
+
+import (
+	"sync"
+
+	"hybridtree/internal/obs"
+)
+
+// walMetrics is the process-wide instrument bundle, resolved once like
+// core's treeMetrics: names are fixed, so every wal.File shares it and the
+// write path only pays atomic adds.
+type walMetrics struct {
+	appends     *obs.Counter // records appended to the log
+	commits     *obs.Counter // transactions sealed durable
+	fsyncs      *obs.Counter // log fsyncs issued
+	fsyncNs     *obs.Histogram
+	groupedOps  *obs.Counter // writes that rode a commit (group size numerator)
+	checkpoints *obs.Counter
+	ckptFails   *obs.Counter
+	ckptPages   *obs.Counter // overlay pages written back at checkpoints
+	ckptSkipped *obs.Counter // overlay pages skipped (inner already matched)
+
+	recoveries  *obs.Counter
+	recReplayed *obs.Counter // committed write records replayed
+	recDiscard  *obs.Counter // valid records dropped (uncommitted tail)
+	recTorn     *obs.Counter // unparseable bytes dropped from the tail
+	recNs       *obs.Histogram
+}
+
+var (
+	metricsOnce sync.Once
+	metricsVal  *walMetrics
+)
+
+func metrics() *walMetrics {
+	metricsOnce.Do(func() {
+		r := obs.Default()
+		metricsVal = &walMetrics{
+			appends:     r.Counter("wal_appends_total"),
+			commits:     r.Counter("wal_commits_total"),
+			fsyncs:      r.Counter("wal_fsyncs_total"),
+			fsyncNs:     r.Histogram("wal_fsync_ns"),
+			groupedOps:  r.Counter("wal_grouped_ops_total"),
+			checkpoints: r.Counter("wal_checkpoints_total"),
+			ckptFails:   r.Counter("wal_checkpoint_failures_total"),
+			ckptPages:   r.Counter("wal_checkpoint_pages_total"),
+			ckptSkipped: r.Counter("wal_checkpoint_pages_skipped_total"),
+			recoveries:  r.Counter("wal_recoveries_total"),
+			recReplayed: r.Counter("wal_recover_records_replayed_total"),
+			recDiscard:  r.Counter("wal_recover_records_discarded_total"),
+			recTorn:     r.Counter("wal_recover_torn_bytes_total"),
+			recNs:       r.Histogram("wal_recovery_ns"),
+		}
+	})
+	return metricsVal
+}

@@ -1,0 +1,470 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"hybridtree/internal/pagefile"
+)
+
+// ErrReadOnlyBase reports an attempt to put a write-ahead log on top of a
+// read-only page file (the mmap backend). It is returned by Open, up front,
+// so callers get one typed error instead of a WritePage failure halfway
+// through a transaction.
+var ErrReadOnlyBase = errors.New("wal: base page file is read-only")
+
+// errInTx guards the checkpoint path: a checkpoint inside an open
+// transaction would flush unsealed writes past the commit point.
+var errInTx = errors.New("wal: operation not allowed inside an open transaction")
+
+// errMismatch reports a checkpoint read-back that returned different bytes
+// without any I/O error — a silent short or torn write underneath.
+var errMismatch = errors.New("wal: read-back mismatch")
+
+func errVerify(readErr error) error {
+	if readErr != nil {
+		return readErr
+	}
+	return errMismatch
+}
+
+// Options tunes a wal.File.
+type Options struct {
+	// FsyncEvery is the number of sealed transactions per log fsync.
+	// 1 (or 0, the default) fsyncs every commit: SealTx returning nil
+	// means durable. Larger values amortize fsync at the price of the
+	// last FsyncEvery-1 acknowledged transactions being lost by a crash.
+	FsyncEvery int
+}
+
+// Recovery reports what Open found and did.
+type Recovery struct {
+	// Txs is the number of committed transactions replayed.
+	Txs int
+	// Replayed is the number of committed write records applied.
+	Replayed int
+	// Discarded is the number of valid records dropped because their
+	// transaction never committed.
+	Discarded int
+	// TornBytes is the size of the unparseable tail discarded.
+	TornBytes int
+	// TruncatedTo is the log size after dropping the damaged tail.
+	TruncatedTo int64
+}
+
+// File layers a write-ahead log over a pagefile.File. It is a no-steal
+// design: writes land in a volatile page overlay and in log records — the
+// inner file is only touched by Allocate (growth is cheap metadata) and by
+// checkpoints. Reads hit the overlay first, so the tree above never
+// observes the difference.
+//
+// Durability protocol, in order:
+//
+//	WritePage*        → overlay + staged log record (volatile)
+//	SealTx            → append records + commit frame, fsync log: COMMITTED
+//	Sync (checkpoint) → flush overlay to inner, fsync inner, truncate log
+//
+// The invariant recovery relies on: every page whose overlay contents
+// differ from the inner file has a log record since the last checkpoint
+// whose replay reproduces those contents. Checkpoints preserve it by
+// truncating the log only after the inner fsync succeeds; failed commits
+// preserve it by rewinding the log and having the tree rewrite pre-images
+// (which log as fresh single-write transactions).
+//
+// Like every pagefile implementation, mutating calls (including BeginTx /
+// SealTx / AbortTx / Sync) require external exclusion; reads may run
+// concurrently with each other but not with mutations — the MVCC layer
+// above already never reads through the file during a write.
+type File struct {
+	inner pagefile.File
+	log   LogStore
+	opts  Options
+
+	overlay map[pagefile.PageID][]byte
+	inTx    bool
+	pending []byte // staged frames of the open transaction
+	staged  int    // write records staged in pending
+	seq     uint64 // last committed transaction sequence
+	unsynced int   // commits since the last log fsync
+
+	m *walMetrics
+}
+
+// Open attaches a write-ahead log to inner, replaying whatever committed
+// tail log holds from a previous incarnation. The inner file must be
+// writable; its free list must be empty (free lists are volatile across
+// crashes — pagefile.CrashFile and OpenDiskFile both guarantee this).
+func Open(inner pagefile.File, log LogStore, opts Options) (*File, Recovery, error) {
+	if pagefile.IsReadOnly(inner) {
+		return nil, Recovery{}, fmt.Errorf("%w: %T", ErrReadOnlyBase, inner)
+	}
+	f := &File{
+		inner:   inner,
+		log:     log,
+		opts:    opts,
+		overlay: make(map[pagefile.PageID][]byte),
+		m:       metrics(),
+	}
+	rec, err := f.recover()
+	if err != nil {
+		return nil, rec, err
+	}
+	return f, rec, nil
+}
+
+// recover scans the log, applies the committed tail to the overlay, and
+// truncates the damaged or uncommitted remainder.
+func (f *File) recover() (Recovery, error) {
+	start := time.Now()
+	var rec Recovery
+	data, err := f.log.Contents()
+	if err != nil {
+		return rec, fmt.Errorf("wal: recovery read: %w", err)
+	}
+	maxPayload := 5 + f.inner.PageSize()
+
+	type writeRec struct {
+		id   pagefile.PageID
+		data []byte
+	}
+	var committed []writeRec // flattened committed writes, log order
+	var uncommitted []writeRec
+	pos := 0
+	validEnd := 0
+	for pos < len(data) {
+		r, n, ok := parseFrame(data[pos:], maxPayload)
+		if !ok {
+			rec.TornBytes = len(data) - pos
+			break
+		}
+		switch r.kind {
+		case kindWrite:
+			uncommitted = append(uncommitted, writeRec{r.pageID, r.data})
+		case kindCommit:
+			committed = append(committed, uncommitted...)
+			uncommitted = uncommitted[:0]
+			rec.Txs++
+			f.seq = r.seq
+			validEnd = pos + n
+		case kindCheckpoint:
+			// Everything before this point is durable in the inner file:
+			// replay starts over.
+			committed = committed[:0]
+			uncommitted = uncommitted[:0]
+			rec.Txs = 0
+			f.seq = r.seq
+			validEnd = pos + n
+		}
+		pos += n
+	}
+	rec.Discarded = len(uncommitted)
+
+	// Apply the committed writes to the overlay (copying out of the log
+	// buffer) and make sure the inner file is large enough to address every
+	// replayed page — growth is durable metadata, contents are not.
+	for _, w := range committed {
+		if err := f.applyReplay(w.id, w.data); err != nil {
+			return rec, fmt.Errorf("wal: replay page %d: %w", w.id, err)
+		}
+	}
+	rec.Replayed = len(committed)
+
+	// Drop the uncommitted and torn tail so future appends extend a clean
+	// committed prefix.
+	rec.TruncatedTo = int64(validEnd)
+	if int64(validEnd) != f.log.Size() {
+		if err := f.log.Truncate(int64(validEnd)); err != nil {
+			return rec, err
+		}
+		if err := f.log.Sync(); err != nil {
+			return rec, err
+		}
+	}
+
+	f.m.recoveries.Inc()
+	f.m.recReplayed.Add(uint64(rec.Replayed))
+	f.m.recDiscard.Add(uint64(rec.Discarded))
+	f.m.recTorn.Add(uint64(rec.TornBytes))
+	f.m.recNs.Observe(time.Since(start).Nanoseconds())
+	return rec, nil
+}
+
+// applyReplay installs one replayed page image in the overlay, growing the
+// inner file if the page id is beyond its current end.
+func (f *File) applyReplay(id pagefile.PageID, data []byte) error {
+	if len(data) > f.inner.PageSize() {
+		return pagefile.ErrTooLarge
+	}
+	for f.inner.NumPages() <= int(id) {
+		if _, err := f.inner.Allocate(); err != nil {
+			return err
+		}
+	}
+	f.setOverlay(id, data)
+	return nil
+}
+
+func (f *File) setOverlay(id pagefile.PageID, data []byte) {
+	p, ok := f.overlay[id]
+	if !ok {
+		p = make([]byte, f.inner.PageSize())
+		f.overlay[id] = p
+	}
+	n := copy(p, data)
+	for i := n; i < len(p); i++ {
+		p[i] = 0
+	}
+}
+
+// PageSize implements pagefile.File.
+func (f *File) PageSize() int { return f.inner.PageSize() }
+
+// Stats implements pagefile.File. Overlay hits are counted against the
+// same Stats object so access accounting stays comparable with and without
+// a WAL.
+func (f *File) Stats() *pagefile.Stats { return f.inner.Stats() }
+
+// NumPages implements pagefile.File.
+func (f *File) NumPages() int { return f.inner.NumPages() }
+
+// ReadPage implements pagefile.File, preferring the overlay.
+func (f *File) ReadPage(id pagefile.PageID, buf []byte) error {
+	if p, ok := f.overlay[id]; ok {
+		f.inner.Stats().AddRandomReads(1)
+		copy(buf, p)
+		return nil
+	}
+	return f.inner.ReadPage(id, buf)
+}
+
+// ReadPageSeq implements pagefile.File, preferring the overlay.
+func (f *File) ReadPageSeq(id pagefile.PageID, buf []byte) error {
+	if p, ok := f.overlay[id]; ok {
+		f.inner.Stats().AddSeqReads(1)
+		copy(buf, p)
+		return nil
+	}
+	return f.inner.ReadPageSeq(id, buf)
+}
+
+// WritePage implements pagefile.File: the write is acknowledged into the
+// overlay and staged (inside a transaction) or logged as its own
+// single-write transaction (outside one). Either way the inner file is
+// untouched until the next checkpoint.
+func (f *File) WritePage(id pagefile.PageID, data []byte) error {
+	if len(data) > f.inner.PageSize() {
+		return fmt.Errorf("%w: %d > %d", pagefile.ErrTooLarge, len(data), f.inner.PageSize())
+	}
+	if f.inTx {
+		f.pending = appendWrite(f.pending, id, data)
+		f.staged++
+		f.setOverlay(id, data)
+		f.inner.Stats().AddWrites(1)
+		f.m.appends.Inc()
+		return nil
+	}
+	// Auto-commit: a single-write transaction, logged but not fsynced —
+	// out-of-tx writes (construction, rollback repairs, flushes) duplicate
+	// state that is either rebuilt or already covered by earlier records,
+	// so deferred durability is safe for them.
+	frame := appendWrite(nil, id, data)
+	f.seq++
+	frame = appendCommit(frame, f.seq)
+	if err := f.log.Append(frame); err != nil {
+		f.seq--
+		return fmt.Errorf("wal: log append: %w", err)
+	}
+	f.setOverlay(id, data)
+	f.inner.Stats().AddWrites(1)
+	f.m.appends.Inc()
+	f.unsynced++
+	return nil
+}
+
+// Allocate implements pagefile.File. Growth goes straight to the inner
+// file: page ids must stay addressable across a crash, and both disk and
+// crash-simulating backends persist length eagerly. No log record is
+// needed — replay re-grows the file to cover any replayed page id.
+func (f *File) Allocate() (pagefile.PageID, error) { return f.inner.Allocate() }
+
+// Free implements pagefile.File. Frees are not logged: a crash forgets
+// them (volatile free lists), which costs bounded space, never
+// correctness. The overlay entry is dropped so a checkpoint cannot write
+// to a freed page.
+func (f *File) Free(id pagefile.PageID) error {
+	if err := f.inner.Free(id); err != nil {
+		return err
+	}
+	delete(f.overlay, id)
+	return nil
+}
+
+// BeginTx implements pagefile.TxFile.
+func (f *File) BeginTx() { f.inTx = true }
+
+// AbortTx implements pagefile.TxFile: staged records are dropped without
+// reaching the log. Overlay contents written by the aborted transaction
+// remain until the caller rewrites the pre-images (which log as fresh
+// auto-committed writes), exactly mirroring how the tree repairs its
+// eager page writes on rollback.
+func (f *File) AbortTx() {
+	f.inTx = false
+	f.pending = f.pending[:0]
+	f.staged = 0
+}
+
+// SealTx implements pagefile.TxFile: the staged writes plus a commit frame
+// are appended to the log and, subject to FsyncEvery, fsynced. A nil
+// return with FsyncEvery ≤ 1 means the transaction is durable. On error
+// nothing is promised: the log is rewound so recovery can never resurrect
+// the failed transaction, and the caller must roll back.
+func (f *File) SealTx() error {
+	if !f.inTx {
+		return nil
+	}
+	f.inTx = false
+	if f.staged == 0 {
+		f.pending = f.pending[:0]
+		return nil
+	}
+	staged := f.staged
+	f.seq++
+	f.pending = appendCommit(f.pending, f.seq)
+	pos := f.log.Size()
+	err := f.log.Append(f.pending)
+	f.pending = f.pending[:0]
+	f.staged = 0
+	if err != nil {
+		f.seq--
+		_ = f.log.Truncate(pos)
+		return fmt.Errorf("wal: log append: %w", err)
+	}
+	f.unsynced++
+	if f.opts.FsyncEvery <= 1 || f.unsynced >= f.opts.FsyncEvery {
+		if err := f.syncLog(); err != nil {
+			// The commit must not be acknowledged: rewind the log to the
+			// pre-transaction position so replay can never see it. (Any
+			// earlier unsynced auto-committed records dropped with it only
+			// duplicate state still covered by the durable prefix.)
+			f.seq--
+			_ = f.log.Truncate(pos)
+			return err
+		}
+	}
+	f.m.commits.Inc()
+	f.m.groupedOps.Add(uint64(staged))
+	return nil
+}
+
+func (f *File) syncLog() error {
+	start := time.Now()
+	err := f.log.Sync()
+	f.m.fsyncs.Inc()
+	f.m.fsyncNs.Observe(time.Since(start).Nanoseconds())
+	if err != nil {
+		return err
+	}
+	f.unsynced = 0
+	return nil
+}
+
+// Sync implements pagefile.File as a checkpoint: flush the overlay into
+// the inner file, fsync it, then truncate the log. On error the log and
+// overlay are kept — nothing durable is given up until the inner file
+// provably holds it.
+func (f *File) Sync() error {
+	if f.inTx {
+		return errInTx
+	}
+	if f.unsynced > 0 {
+		if err := f.syncLog(); err != nil {
+			return err
+		}
+	}
+	ids := make([]pagefile.PageID, 0, len(f.overlay))
+	for id := range f.overlay {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	scratch := make([]byte, f.inner.PageSize())
+	for _, id := range ids {
+		// Compare-and-skip keeps the invariant cheaply: a page is written
+		// back only when it differs, and any read failure (torn page from
+		// an earlier aborted checkpoint, checksum damage) counts as
+		// different and gets repaired.
+		cur := f.overlay[id]
+		if err := f.inner.ReadPage(id, scratch); err == nil && bytes.Equal(scratch, cur) {
+			f.m.ckptSkipped.Inc()
+			continue
+		}
+		if err := f.inner.WritePage(id, cur); err != nil {
+			f.m.ckptFails.Inc()
+			return fmt.Errorf("wal: checkpoint flush page %d: %w", id, err)
+		}
+		// Read back and verify: a short write that lied about success would
+		// otherwise let the overlay (and its log records) be discarded while
+		// the inner file holds a torn page. The checkpoint is the last
+		// moment that damage is still recoverable, so it must be loud here.
+		if err := f.inner.ReadPage(id, scratch); err != nil || !bytes.Equal(scratch, cur) {
+			f.m.ckptFails.Inc()
+			return fmt.Errorf("wal: checkpoint verify page %d: %w", id, errVerify(err))
+		}
+		f.m.ckptPages.Inc()
+	}
+	if err := f.inner.Sync(); err != nil {
+		f.m.ckptFails.Inc()
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	// The inner file is durable: the overlay has served its purpose.
+	clear(f.overlay)
+	// Mark and shrink the log. The checkpoint frame lands before the
+	// truncate so a crash in between replays nothing stale; the truncate
+	// itself is the cleanup.
+	f.seq++
+	frame := appendCheckpoint(nil, f.seq)
+	pos := f.log.Size()
+	if err := f.log.Append(frame); err != nil {
+		f.seq--
+		_ = f.log.Truncate(pos)
+		return fmt.Errorf("wal: checkpoint mark: %w", err)
+	}
+	if err := f.syncLog(); err != nil {
+		f.seq--
+		_ = f.log.Truncate(pos)
+		return fmt.Errorf("wal: checkpoint mark: %w", err)
+	}
+	if err := f.log.Truncate(0); err != nil {
+		return fmt.Errorf("wal: checkpoint truncate: %w", err)
+	}
+	if err := f.log.Sync(); err != nil {
+		return fmt.Errorf("wal: checkpoint truncate: %w", err)
+	}
+	f.m.checkpoints.Inc()
+	return nil
+}
+
+// OverlayPages returns how many pages currently live only in the overlay
+// and the log — the replay work a crash right now would require.
+func (f *File) OverlayPages() int { return len(f.overlay) }
+
+// Seq returns the last committed transaction sequence number.
+func (f *File) Seq() uint64 { return f.seq }
+
+// Close implements pagefile.File: checkpoint, then close the log and the
+// inner file. The checkpoint error (if any) wins, but both underlying
+// files are closed regardless.
+func (f *File) Close() error {
+	cerr := f.Sync()
+	lerr := f.log.Close()
+	ierr := f.inner.Close()
+	if cerr != nil {
+		return cerr
+	}
+	if lerr != nil {
+		return lerr
+	}
+	return ierr
+}

@@ -1,0 +1,371 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridtree/internal/pagefile"
+)
+
+const testPageSize = 256
+
+// newStack builds a wal.File over a fresh CrashFile and MemLog.
+func newStack(t *testing.T, opts Options) (*File, *pagefile.CrashFile, *MemLog) {
+	t.Helper()
+	inner := pagefile.NewCrashFile(testPageSize)
+	log := NewMemLog()
+	f, rec, err := Open(inner, log, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if rec.Replayed != 0 || rec.Txs != 0 {
+		t.Fatalf("fresh open replayed something: %+v", rec)
+	}
+	return f, inner, log
+}
+
+func mustAlloc(t *testing.T, f pagefile.File) pagefile.PageID {
+	t.Helper()
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	return id
+}
+
+func page(fill byte) []byte {
+	p := make([]byte, testPageSize)
+	for i := range p {
+		p[i] = fill
+	}
+	return p
+}
+
+func readPage(t *testing.T, f pagefile.File, id pagefile.PageID) []byte {
+	t.Helper()
+	buf := make([]byte, testPageSize)
+	if err := f.ReadPage(id, buf); err != nil {
+		t.Fatalf("ReadPage %d: %v", id, err)
+	}
+	return buf
+}
+
+// reopen simulates the post-crash restart: a new wal.File over the same
+// (crashed) inner file and log.
+func reopen(t *testing.T, inner pagefile.File, log LogStore, opts Options) (*File, Recovery) {
+	t.Helper()
+	f, rec, err := Open(inner, log, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return f, rec
+}
+
+func TestSealedTxSurvivesCrash(t *testing.T) {
+	f, inner, log := newStack(t, Options{})
+	a, b := mustAlloc(t, f), mustAlloc(t, f)
+
+	f.BeginTx()
+	if err := f.WritePage(a, page(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WritePage(b, page(0xBB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SealTx(); err != nil {
+		t.Fatalf("SealTx: %v", err)
+	}
+
+	// Power cut: inner volatile state tears, but the log was fsynced.
+	inner.Crash(1)
+	log.Crash(2)
+	f2, rec := reopen(t, inner, log, Options{})
+	if rec.Txs != 1 || rec.Replayed != 2 {
+		t.Fatalf("recovery = %+v, want 1 tx / 2 records", rec)
+	}
+	if got := readPage(t, f2, a); !bytes.Equal(got, page(0xAA)) {
+		t.Fatalf("page a lost after recovery")
+	}
+	if got := readPage(t, f2, b); !bytes.Equal(got, page(0xBB)) {
+		t.Fatalf("page b lost after recovery")
+	}
+}
+
+func TestUncommittedRecordsNeverResurrect(t *testing.T) {
+	f, inner, log := newStack(t, Options{})
+	a := mustAlloc(t, f)
+	if err := f.WritePage(a, page(0x01)); err != nil { // auto-commit
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // checkpoint: 0x01 durable
+		t.Fatal(err)
+	}
+
+	// Forge the failure mode where write records reach the log but their
+	// commit frame does not (torn off by the crash): they must be
+	// discarded, not replayed.
+	frames := appendWrite(nil, a, page(0x02))
+	if err := log.Append(frames); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Sync(); err != nil { // survives the crash intact, still uncommitted
+		t.Fatal(err)
+	}
+	inner.Crash(4)
+	f2, rec := reopen(t, inner, log, Options{})
+	if rec.Discarded != 1 {
+		t.Fatalf("Discarded = %d, want 1 (recovery: %+v)", rec.Discarded, rec)
+	}
+	if got := readPage(t, f2, a); !bytes.Equal(got, page(0x01)) {
+		t.Fatalf("uncommitted write resurrected: page = %x...", got[0])
+	}
+}
+
+func TestTornTailDetectedAndTruncated(t *testing.T) {
+	f, inner, log := newStack(t, Options{})
+	a := mustAlloc(t, f)
+	if err := f.WritePage(a, page(0x11)); err != nil {
+		t.Fatal(err)
+	}
+	f.BeginTx()
+	if err := f.WritePage(a, page(0x22)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SealTx(); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage after the last valid frame: a torn append.
+	if err := log.Append([]byte{0xde, 0xad, 0xbe, 0xef, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	inner.Crash(5)
+	f2, rec := reopen(t, inner, log, Options{})
+	if rec.TornBytes == 0 {
+		t.Fatalf("torn tail not detected: %+v", rec)
+	}
+	if log.Size() != rec.TruncatedTo {
+		t.Fatalf("log not truncated: size %d, want %d", log.Size(), rec.TruncatedTo)
+	}
+	if got := readPage(t, f2, a); !bytes.Equal(got, page(0x22)) {
+		t.Fatalf("committed write lost to torn tail")
+	}
+}
+
+func TestCheckpointTruncatesAndSurvives(t *testing.T) {
+	f, inner, log := newStack(t, Options{})
+	a := mustAlloc(t, f)
+	f.BeginTx()
+	if err := f.WritePage(a, page(0x33)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SealTx(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if log.Size() != 0 {
+		t.Fatalf("log size %d after checkpoint, want 0", log.Size())
+	}
+	if f.OverlayPages() != 0 {
+		t.Fatalf("overlay %d pages after checkpoint, want 0", f.OverlayPages())
+	}
+	inner.Crash(6)
+	f2, rec := reopen(t, inner, log, Options{})
+	if rec.Replayed != 0 {
+		t.Fatalf("checkpointed state should need no replay: %+v", rec)
+	}
+	if got := readPage(t, f2, a); !bytes.Equal(got, page(0x33)) {
+		t.Fatalf("checkpointed page lost")
+	}
+}
+
+func TestSealRewindsOnFsyncFailure(t *testing.T) {
+	f, inner, log := newStack(t, Options{})
+	a := mustAlloc(t, f)
+	if err := f.WritePage(a, page(0x44)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	log.FailNextSyncs(1)
+	f.BeginTx()
+	if err := f.WritePage(a, page(0x55)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SealTx(); err == nil {
+		t.Fatalf("SealTx succeeded despite fsync failure")
+	}
+	if log.Size() != 0 {
+		t.Fatalf("failed tx left %d bytes in the log", log.Size())
+	}
+	// The caller's contract: rewrite the pre-image after a failed seal.
+	if err := f.WritePage(a, page(0x44)); err != nil {
+		t.Fatal(err)
+	}
+	inner.Crash(7)
+	log.Crash(8)
+	f2, rec := reopen(t, inner, log, Options{})
+	_ = rec
+	if got := readPage(t, f2, a); !bytes.Equal(got, page(0x44)) {
+		t.Fatalf("failed-fsync tx resurrected: page = %x...", got[0])
+	}
+}
+
+func TestFsyncEveryAmortizes(t *testing.T) {
+	f, _, log := newStack(t, Options{FsyncEvery: 4})
+	a := mustAlloc(t, f)
+	for i := 0; i < 3; i++ {
+		f.BeginTx()
+		if err := f.WritePage(a, page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.SealTx(); err != nil {
+			t.Fatal(err)
+		}
+		if log.Synced() != 0 {
+			t.Fatalf("commit %d forced an fsync with FsyncEvery=4", i)
+		}
+	}
+	f.BeginTx()
+	if err := f.WritePage(a, page(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SealTx(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(log.Synced()), log.Size(); got != want {
+		t.Fatalf("4th commit did not fsync: synced %d, size %d", got, want)
+	}
+}
+
+func TestAbortDropsStagedRecords(t *testing.T) {
+	f, inner, log := newStack(t, Options{})
+	a := mustAlloc(t, f)
+	if err := f.WritePage(a, page(0x66)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before := log.Size()
+	f.BeginTx()
+	if err := f.WritePage(a, page(0x77)); err != nil {
+		t.Fatal(err)
+	}
+	f.AbortTx()
+	if log.Size() != before {
+		t.Fatalf("aborted tx reached the log")
+	}
+	// Mirror the tree's rollback: rewrite the pre-image.
+	if err := f.WritePage(a, page(0x66)); err != nil {
+		t.Fatal(err)
+	}
+	inner.Crash(9)
+	log.Crash(10)
+	f2, _ := reopen(t, inner, log, Options{})
+	if got := readPage(t, f2, a); !bytes.Equal(got, page(0x66)) {
+		t.Fatalf("aborted tx visible after recovery")
+	}
+}
+
+func TestReplayIsIdempotentAcrossRepeatedCrashes(t *testing.T) {
+	f, inner, log := newStack(t, Options{})
+	a := mustAlloc(t, f)
+	f.BeginTx()
+	if err := f.WritePage(a, page(0x88)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SealTx(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash, recover, crash again without checkpointing: the log must keep
+	// carrying the committed state.
+	for seed := int64(20); seed < 23; seed++ {
+		inner.Crash(seed)
+		log.Crash(seed + 100)
+		var rec Recovery
+		f, rec = reopen(t, inner, log, Options{})
+		if rec.Txs != 1 || rec.Replayed != 1 {
+			t.Fatalf("seed %d: recovery %+v, want 1 tx / 1 record", seed, rec)
+		}
+		if got := readPage(t, f, a); !bytes.Equal(got, page(0x88)) {
+			t.Fatalf("seed %d: committed write lost", seed)
+		}
+	}
+}
+
+func TestOpenRejectsReadOnlyBase(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.db")
+	df, err := pagefile.CreateDiskFile(path, testPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := pagefile.OpenMmapFile(path, testPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	_, _, err = Open(mf, NewMemLog(), Options{})
+	if !errors.Is(err, ErrReadOnlyBase) {
+		t.Fatalf("Open over mmap: err = %v, want ErrReadOnlyBase", err)
+	}
+}
+
+func TestFileLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	log, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := pagefile.NewCrashFile(testPageSize)
+	f, _, err := Open(inner, log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustAlloc(t, f)
+	f.BeginTx()
+	if err := f.WritePage(a, page(0x99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SealTx(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen the log from disk; the inner CrashFile loses its volatile
+	// state as if the process died.
+	inner.Crash(30)
+	log2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	f2, rec, err := Open(inner, log2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Txs != 1 {
+		t.Fatalf("recovery from FileLog: %+v", rec)
+	}
+	if got := readPage(t, f2, a); !bytes.Equal(got, page(0x99)) {
+		t.Fatalf("FileLog-backed recovery lost the committed write")
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != rec.TruncatedTo {
+		t.Fatalf("log file size %v/%v, want %d", fi, err, rec.TruncatedTo)
+	}
+}
