@@ -194,3 +194,87 @@ func TestGroupCommitMixedOpsWithReaders(t *testing.T) {
 	}
 	_ = fmt.Sprint()
 }
+
+// TestColdCacheReadersRaceGroupCommit is the regression test for the
+// unguarded WAL overlay: after a reopen the node cache is cold, so
+// lock-free searches miss and read through the wal.File (overlay lookup)
+// while the group committer's writes mutate the overlay. Run under -race
+// this used to report concurrent map access; without -race it could fatal
+// with "concurrent map read and map write".
+func TestColdCacheReadersRaceGroupCommit(t *testing.T) {
+	const dim, pageSize = 2, 512
+	tree, inner, log, _ := newWALTree(t, dim, pageSize)
+
+	// Seed enough points that the tree spans many pages, then crash and
+	// reopen: recovery repopulates the overlay, the node cache starts empty.
+	rng := rand.New(rand.NewSource(7))
+	const seeded = 300
+	for i := 0; i < seeded; i++ {
+		p := geom.Point{float32(rng.Float64()), float32(rng.Float64())}
+		if err := tree.Insert(p, core.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inner.Crash(60)
+	log.Crash(61)
+	sum := pagefile.NewChecksumFile(inner)
+	wf, rec, err := wal.Open(sum, log, wal.Options{})
+	if err != nil {
+		t.Fatalf("wal.Open after crash: %v", err)
+	}
+	if rec.Txs == 0 {
+		t.Fatalf("no transactions replayed: %+v", rec)
+	}
+	cold, err := Open(wf, core.Config{Dim: dim, PageSize: sum.PageSize()})
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+
+	g := NewGroupCommitter(cold, 16)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := geom.Point{float32(rng.Float64() * 0.5), float32(rng.Float64() * 0.5)}
+				q := geom.Rect{Lo: lo, Hi: geom.Point{lo[0] + 0.5, lo[1] + 0.5}}
+				if _, err := cold.SearchBox(q); err != nil {
+					t.Errorf("SearchBox: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	const extra = 200
+	var wg sync.WaitGroup
+	for i := 0; i < extra; i++ {
+		p := geom.Point{float32(rng.Float64()), float32(rng.Float64())}
+		wg.Add(1)
+		go func(i int, p geom.Point) {
+			defer wg.Done()
+			if err := g.Insert(p, core.RecordID(seeded+i+1)); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	g.Close()
+
+	if got := cold.Size(); got != seeded+extra {
+		t.Fatalf("size %d, want %d", got, seeded+extra)
+	}
+	if err := cold.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}

@@ -199,6 +199,10 @@ func (t *Tree) elsEnlarge(id uint32, outer geom.Rect, p geom.Point) {
 	t.els.EnlargeToInclude(id, outer, p)
 }
 
+func (t *Tree) elsEnlargeExisting(id uint32, outer geom.Rect, p geom.Point) {
+	t.els.EnlargeExisting(id, outer, p)
+}
+
 func (t *Tree) elsDelete(id uint32) {
 	t.els.Delete(id)
 }
@@ -503,6 +507,12 @@ func (t *Tree) Insert(p geom.Point, rid RecordID) error {
 }
 
 func (t *Tree) insertRecord(p geom.Point, rid RecordID) error {
+	// The descent enlarges the ELS entry of every node it passes *as a
+	// child of its parent* — which covers everything except the root.
+	// Fresh trees never store a root entry, but RebuildELS (recovery) and
+	// snapshot restore do, and that entry would otherwise go silently
+	// stale and under-report the live space.
+	t.elsEnlargeExisting(uint32(t.root), t.cfg.Space, p)
 	sr, err := t.insertAt(t.root, t.cfg.Space, p.Clone(), rid)
 	if err != nil {
 		return err

@@ -556,3 +556,51 @@ func TestFaultInjection(t *testing.T) {
 		t.Fatalf("range error = %v, want ErrInjected", err)
 	}
 }
+
+// TestRootELSStaysFreshAfterRebuild: RebuildELS (the recovery path) stores
+// an ELS entry for every node including the root — which a fresh tree never
+// has, so the insert descent historically only enlarged child entries. The
+// root's entry then went stale as later inserts landed outside it, breaking
+// the containment invariant and (for any reader of that entry) allowing
+// live points to be pruned away. Inserts must keep a present root entry
+// fresh.
+func TestRootELSStaysFreshAfterRebuild(t *testing.T) {
+	const dim, pageSize = 2, 512
+	cfg := Config{Dim: dim, PageSize: pageSize}
+	file := pagefile.NewMemFile(pageSize)
+	tree, err := New(file, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed points clustered in the lower-left quadrant so the rebuilt root
+	// entry is a strict subset of the space.
+	rng := rand.New(rand.NewSource(11))
+	n := 0
+	for ; n < 300; n++ {
+		p := geom.Point{rng.Float32() * 0.4, rng.Float32() * 0.4}
+		if err := tree.Insert(p, RecordID(n+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.RebuildELS(); err != nil {
+		t.Fatal(err)
+	}
+	// Now insert points far outside the rebuilt live space.
+	for i := 0; i < 100; i++ {
+		p := geom.Point{0.6 + rng.Float32()*0.4, 0.6 + rng.Float32()*0.4}
+		n++
+		if err := tree.Insert(p, RecordID(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("root ELS entry went stale: %v", err)
+	}
+	got, err := tree.SearchBox(geom.Rect{Lo: geom.Point{0.6, 0.6}, Hi: geom.Point{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("found %d of 100 points inserted after the rebuild", len(got))
+	}
+}

@@ -206,6 +206,26 @@ func (t *Table) EnlargeToInclude(id uint32, outer geom.Rect, p geom.Point) {
 	t.install(id, outer, Encode(outer, live, t.bits))
 }
 
+// EnlargeExisting grows id's stored live rectangle to include p only when
+// an encoding is already stored; absent entries stay absent. The insert
+// descent uses this for the root: a fresh tree never stores a root entry,
+// but a rebuild (recovery) or snapshot restore does, and that entry must
+// track later insertions — while installing a fresh degenerate rectangle
+// here would wrongly claim the whole live space is {p}.
+func (t *Table) EnlargeExisting(id uint32, outer geom.Rect, p geom.Point) {
+	if !t.Enabled() {
+		return
+	}
+	t.ensureDim(outer.Dim())
+	live, ok := decAt(t.chunks, t.dim, id)
+	if !ok || live.Contains(p) {
+		return
+	}
+	grown := live.Clone()
+	grown.Enlarge(p)
+	t.install(id, outer, Encode(outer, grown, t.bits))
+}
+
 // Encoded returns the raw stored encoding for id, if any. The returned
 // slice is shared with the table — callers must not mutate it. Set always
 // installs a freshly allocated encoding, so a captured slice stays intact.

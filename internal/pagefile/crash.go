@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // CrashFile is an in-memory File that models the one property MemFile
@@ -19,7 +20,12 @@ import (
 // File *growth* is treated as durable at Allocate time (a Truncate is
 // metadata, and the recovery contract in internal/wal only needs page ids
 // to stay addressable); page *contents* are durable only after Sync.
+//
+// Like DiskFile, reads may run concurrently with mutations (the durable
+// stack lets lock-free MVCC searches read through the file while a writer
+// checkpoints), so all state is guarded by an RWMutex.
 type CrashFile struct {
+	mu       sync.RWMutex
 	pageSize int
 	durable  [][]byte
 	volatile map[PageID][]byte
@@ -56,7 +62,11 @@ func (f *CrashFile) PageSize() int { return f.pageSize }
 func (f *CrashFile) Stats() *Stats { return &f.stats }
 
 // NumPages implements File.
-func (f *CrashFile) NumPages() int { return len(f.durable) - len(f.freed) }
+func (f *CrashFile) NumPages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.durable) - len(f.freed)
+}
 
 func (f *CrashFile) check(id PageID) error {
 	if f.closed {
@@ -80,6 +90,8 @@ func (f *CrashFile) page(id PageID) []byte {
 
 // ReadPage implements File: reads observe acknowledged (volatile) contents.
 func (f *CrashFile) ReadPage(id PageID, buf []byte) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.check(id); err != nil {
 		return err
 	}
@@ -90,6 +102,8 @@ func (f *CrashFile) ReadPage(id PageID, buf []byte) error {
 
 // ReadPageSeq implements File.
 func (f *CrashFile) ReadPageSeq(id PageID, buf []byte) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.check(id); err != nil {
 		return err
 	}
@@ -101,6 +115,8 @@ func (f *CrashFile) ReadPageSeq(id PageID, buf []byte) error {
 // WritePage implements File: the write is acknowledged but stays volatile
 // until the next Sync.
 func (f *CrashFile) WritePage(id PageID, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if err := f.check(id); err != nil {
 		return err
 	}
@@ -123,6 +139,8 @@ func (f *CrashFile) WritePage(id PageID, data []byte) error {
 // Allocate implements File. Growth is durable immediately (see type doc);
 // freed-page reuse comes from the volatile free list.
 func (f *CrashFile) Allocate() (PageID, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.closed {
 		return InvalidPage, ErrClosed
 	}
@@ -141,6 +159,8 @@ func (f *CrashFile) Allocate() (PageID, error) {
 // Free implements File. Frees are volatile: a crash forgets them, exactly
 // like DiskFile's unpersisted free list.
 func (f *CrashFile) Free(id PageID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if err := f.check(id); err != nil {
 		return err
 	}
@@ -153,6 +173,8 @@ func (f *CrashFile) Free(id PageID) error {
 
 // Sync implements File: every volatile page becomes durable.
 func (f *CrashFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.closed {
 		return ErrClosed
 	}
@@ -167,17 +189,27 @@ func (f *CrashFile) Sync() error {
 // Close implements File. Closing is not a crash: the volatile overlay is
 // kept, so tests can distinguish a clean shutdown from a power cut (Crash).
 func (f *CrashFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.closed = true
 	return nil
 }
 
 // Reopen makes a closed file usable again, modeling a process restart
 // attaching to the same disk.
-func (f *CrashFile) Reopen() { f.closed = false }
+func (f *CrashFile) Reopen() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = false
+}
 
 // VolatilePages returns how many acknowledged pages have not reached the
 // durable image — what a crash right now would put at risk.
-func (f *CrashFile) VolatilePages() int { return len(f.volatile) }
+func (f *CrashFile) VolatilePages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.volatile)
+}
 
 // Crash simulates a power cut: every unsynced page independently survives,
 // vanishes, or tears, with damage drawn from a rng seeded by seed (pages
@@ -185,6 +217,8 @@ func (f *CrashFile) VolatilePages() int { return len(f.volatile) }
 // seed and the volatile set). The free list is cleared. The file remains
 // usable afterwards, representing the disk as found on reboot.
 func (f *CrashFile) Crash(seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	rng := rand.New(rand.NewSource(seed))
 	ids := make([]PageID, 0, len(f.volatile))
 	for id := range f.volatile {

@@ -175,11 +175,17 @@ func (l *FileLog) Truncate(n int64) error {
 	return nil
 }
 
-// Contents implements LogStore.
+// Contents implements LogStore. A file shorter than the tracked size
+// (external truncation, a lost append) is an error, not a zero-padded
+// buffer: recovery must see the damage, not silently parse zeros.
 func (l *FileLog) Contents() ([]byte, error) {
 	buf := make([]byte, l.size)
-	if _, err := l.f.ReadAt(buf, 0); err != nil && err != io.EOF {
-		return nil, fmt.Errorf("wal: read log: %w", err)
+	n, err := l.f.ReadAt(buf, 0)
+	if int64(n) != l.size {
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wal: read log: got %d of %d bytes: %w", n, l.size, err)
 	}
 	return buf, nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"hybridtree/internal/pagefile"
@@ -15,6 +16,13 @@ import (
 // so callers get one typed error instead of a WritePage failure halfway
 // through a transaction.
 var ErrReadOnlyBase = errors.New("wal: base page file is read-only")
+
+// ErrBroken reports that a failed commit could not be durably rewound: the
+// on-disk log may still hold a transaction that was reported failed, so the
+// WAL refuses every further mutation rather than risk recovery resurrecting
+// it. Reads keep working; the caller should close and re-open (recovery
+// re-establishes a consistent prefix).
+var ErrBroken = errors.New("wal: log rewind failed, refusing further writes")
 
 // errInTx guards the checkpoint path: a checkpoint inside an open
 // transaction would flush unsealed writes past the commit point.
@@ -74,21 +82,27 @@ type Recovery struct {
 // preserve it by rewinding the log and having the tree rewrite pre-images
 // (which log as fresh single-write transactions).
 //
-// Like every pagefile implementation, mutating calls (including BeginTx /
-// SealTx / AbortTx / Sync) require external exclusion; reads may run
-// concurrently with each other but not with mutations — the MVCC layer
-// above already never reads through the file during a write.
+// Mutating calls (including BeginTx / SealTx / AbortTx / Sync) require
+// external exclusion from each other, like every pagefile implementation.
+// Reads, however, may run concurrently with mutations: the MVCC layer above
+// serves lock-free searches whose cold-cache misses read through the file
+// while a writer holds the tree lock, so every overlay access is guarded by
+// ovMu. Writer-side cost is one uncontended mutex per page touched —
+// negligible next to the log append.
 type File struct {
 	inner pagefile.File
 	log   LogStore
 	opts  Options
 
+	ovMu    sync.RWMutex // guards overlay (map and slice contents)
 	overlay map[pagefile.PageID][]byte
-	inTx    bool
-	pending []byte // staged frames of the open transaction
-	staged  int    // write records staged in pending
-	seq     uint64 // last committed transaction sequence
-	unsynced int   // commits since the last log fsync
+
+	inTx     bool
+	pending  []byte // staged frames of the open transaction
+	staged   int    // write records staged in pending
+	seq      uint64 // last committed transaction sequence
+	unsynced int    // commits since the last log fsync
+	broken   error  // set when a rewind could not be made durable
 
 	m *walMetrics
 }
@@ -208,6 +222,8 @@ func (f *File) applyReplay(id pagefile.PageID, data []byte) error {
 }
 
 func (f *File) setOverlay(id pagefile.PageID, data []byte) {
+	f.ovMu.Lock()
+	defer f.ovMu.Unlock()
 	p, ok := f.overlay[id]
 	if !ok {
 		p = make([]byte, f.inner.PageSize())
@@ -230,11 +246,17 @@ func (f *File) Stats() *pagefile.Stats { return f.inner.Stats() }
 // NumPages implements pagefile.File.
 func (f *File) NumPages() int { return f.inner.NumPages() }
 
-// ReadPage implements pagefile.File, preferring the overlay.
+// ReadPage implements pagefile.File, preferring the overlay. The copy-out
+// happens under the read lock: setOverlay rewrites page slices in place.
 func (f *File) ReadPage(id pagefile.PageID, buf []byte) error {
-	if p, ok := f.overlay[id]; ok {
-		f.inner.Stats().AddRandomReads(1)
+	f.ovMu.RLock()
+	p, ok := f.overlay[id]
+	if ok {
 		copy(buf, p)
+	}
+	f.ovMu.RUnlock()
+	if ok {
+		f.inner.Stats().AddRandomReads(1)
 		return nil
 	}
 	return f.inner.ReadPage(id, buf)
@@ -242,9 +264,14 @@ func (f *File) ReadPage(id pagefile.PageID, buf []byte) error {
 
 // ReadPageSeq implements pagefile.File, preferring the overlay.
 func (f *File) ReadPageSeq(id pagefile.PageID, buf []byte) error {
-	if p, ok := f.overlay[id]; ok {
-		f.inner.Stats().AddSeqReads(1)
+	f.ovMu.RLock()
+	p, ok := f.overlay[id]
+	if ok {
 		copy(buf, p)
+	}
+	f.ovMu.RUnlock()
+	if ok {
+		f.inner.Stats().AddSeqReads(1)
 		return nil
 	}
 	return f.inner.ReadPageSeq(id, buf)
@@ -257,6 +284,9 @@ func (f *File) ReadPageSeq(id pagefile.PageID, buf []byte) error {
 func (f *File) WritePage(id pagefile.PageID, data []byte) error {
 	if len(data) > f.inner.PageSize() {
 		return fmt.Errorf("%w: %d > %d", pagefile.ErrTooLarge, len(data), f.inner.PageSize())
+	}
+	if f.broken != nil {
+		return f.broken
 	}
 	if f.inTx {
 		f.pending = appendWrite(f.pending, id, data)
@@ -273,8 +303,12 @@ func (f *File) WritePage(id pagefile.PageID, data []byte) error {
 	frame := appendWrite(nil, id, data)
 	f.seq++
 	frame = appendCommit(frame, f.seq)
+	pos := f.log.Size()
 	if err := f.log.Append(frame); err != nil {
+		// A failed append may still have landed partial bytes; durably
+		// rewind so recovery cannot see a CRC-lucky fragment of it.
 		f.seq--
+		f.rewindTo(pos)
 		return fmt.Errorf("wal: log append: %w", err)
 	}
 	f.setOverlay(id, data)
@@ -298,7 +332,9 @@ func (f *File) Free(id pagefile.PageID) error {
 	if err := f.inner.Free(id); err != nil {
 		return err
 	}
+	f.ovMu.Lock()
 	delete(f.overlay, id)
+	f.ovMu.Unlock()
 	return nil
 }
 
@@ -319,13 +355,19 @@ func (f *File) AbortTx() {
 // SealTx implements pagefile.TxFile: the staged writes plus a commit frame
 // are appended to the log and, subject to FsyncEvery, fsynced. A nil
 // return with FsyncEvery ≤ 1 means the transaction is durable. On error
-// nothing is promised: the log is rewound so recovery can never resurrect
-// the failed transaction, and the caller must roll back.
+// nothing is promised: the log is durably rewound so recovery can never
+// resurrect the failed transaction, and the caller must roll back. If even
+// the rewind fails, the file wedges itself (ErrBroken) instead.
 func (f *File) SealTx() error {
 	if !f.inTx {
 		return nil
 	}
 	f.inTx = false
+	if f.broken != nil {
+		f.pending = f.pending[:0]
+		f.staged = 0
+		return f.broken
+	}
 	if f.staged == 0 {
 		f.pending = f.pending[:0]
 		return nil
@@ -339,7 +381,7 @@ func (f *File) SealTx() error {
 	f.staged = 0
 	if err != nil {
 		f.seq--
-		_ = f.log.Truncate(pos)
+		f.rewindTo(pos)
 		return fmt.Errorf("wal: log append: %w", err)
 	}
 	f.unsynced++
@@ -350,13 +392,32 @@ func (f *File) SealTx() error {
 			// earlier unsynced auto-committed records dropped with it only
 			// duplicate state still covered by the durable prefix.)
 			f.seq--
-			_ = f.log.Truncate(pos)
+			f.rewindTo(pos)
 			return err
 		}
 	}
 	f.m.commits.Inc()
 	f.m.groupedOps.Add(uint64(staged))
 	return nil
+}
+
+// rewindTo durably removes an acknowledged-but-rejected log tail. The
+// truncate must itself reach the disk: without an fsync the OS could still
+// write back the rejected pages and drop the truncate metadata in a crash,
+// and recovery would replay a CRC-valid commit that was reported failed and
+// rolled back. If the rewind cannot be made durable, the on-disk log is in
+// an unknown state, so the WAL turns every further mutation into ErrBroken
+// rather than risk that resurrection. The rewind fsync also resets the
+// unsynced counter (via syncLog), so a rewound commit never counts toward
+// FsyncEvery batching.
+func (f *File) rewindTo(pos int64) {
+	if err := f.log.Truncate(pos); err != nil {
+		f.broken = fmt.Errorf("%w: truncate: %v", ErrBroken, err)
+		return
+	}
+	if err := f.syncLog(); err != nil {
+		f.broken = fmt.Errorf("%w: sync: %v", ErrBroken, err)
+	}
 }
 
 func (f *File) syncLog() error {
@@ -379,23 +440,35 @@ func (f *File) Sync() error {
 	if f.inTx {
 		return errInTx
 	}
+	if f.broken != nil {
+		return f.broken
+	}
 	if f.unsynced > 0 {
 		if err := f.syncLog(); err != nil {
 			return err
 		}
 	}
-	ids := make([]pagefile.PageID, 0, len(f.overlay))
-	for id := range f.overlay {
-		ids = append(ids, id)
+	// Snapshot the overlay under the read lock. The page slices themselves
+	// are stable references: only setOverlay rewrites them, and mutators are
+	// externally excluded from Sync.
+	type overlayPage struct {
+		id   pagefile.PageID
+		data []byte
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	f.ovMu.RLock()
+	pages := make([]overlayPage, 0, len(f.overlay))
+	for id, p := range f.overlay {
+		pages = append(pages, overlayPage{id, p})
+	}
+	f.ovMu.RUnlock()
+	sort.Slice(pages, func(i, j int) bool { return pages[i].id < pages[j].id })
 	scratch := make([]byte, f.inner.PageSize())
-	for _, id := range ids {
+	for _, pg := range pages {
 		// Compare-and-skip keeps the invariant cheaply: a page is written
 		// back only when it differs, and any read failure (torn page from
 		// an earlier aborted checkpoint, checksum damage) counts as
 		// different and gets repaired.
-		cur := f.overlay[id]
+		id, cur := pg.id, pg.data
 		if err := f.inner.ReadPage(id, scratch); err == nil && bytes.Equal(scratch, cur) {
 			f.m.ckptSkipped.Inc()
 			continue
@@ -419,21 +492,26 @@ func (f *File) Sync() error {
 		return fmt.Errorf("wal: checkpoint sync: %w", err)
 	}
 	// The inner file is durable: the overlay has served its purpose.
+	f.ovMu.Lock()
 	clear(f.overlay)
+	f.ovMu.Unlock()
 	// Mark and shrink the log. The checkpoint frame lands before the
 	// truncate so a crash in between replays nothing stale; the truncate
-	// itself is the cleanup.
+	// itself is the cleanup. (A checkpoint frame surviving a rewind is
+	// harmless — the inner fsync above already made everything it marks
+	// durable — so the rewinds here still use rewindTo for the durable
+	// truncate, keeping the log's tracked size honest.)
 	f.seq++
 	frame := appendCheckpoint(nil, f.seq)
 	pos := f.log.Size()
 	if err := f.log.Append(frame); err != nil {
 		f.seq--
-		_ = f.log.Truncate(pos)
+		f.rewindTo(pos)
 		return fmt.Errorf("wal: checkpoint mark: %w", err)
 	}
 	if err := f.syncLog(); err != nil {
 		f.seq--
-		_ = f.log.Truncate(pos)
+		f.rewindTo(pos)
 		return fmt.Errorf("wal: checkpoint mark: %w", err)
 	}
 	if err := f.log.Truncate(0); err != nil {
@@ -448,7 +526,11 @@ func (f *File) Sync() error {
 
 // OverlayPages returns how many pages currently live only in the overlay
 // and the log — the replay work a crash right now would require.
-func (f *File) OverlayPages() int { return len(f.overlay) }
+func (f *File) OverlayPages() int {
+	f.ovMu.RLock()
+	defer f.ovMu.RUnlock()
+	return len(f.overlay)
+}
 
 // Seq returns the last committed transaction sequence number.
 func (f *File) Seq() uint64 { return f.seq }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 
 	"hybridtree/internal/pagefile"
@@ -367,5 +369,212 @@ func TestFileLogRoundTrip(t *testing.T) {
 	}
 	if fi, err := os.Stat(path); err != nil || fi.Size() != rec.TruncatedTo {
 		t.Fatalf("log file size %v/%v, want %d", fi, err, rec.TruncatedTo)
+	}
+}
+
+// TestConcurrentReadsDuringMutations: the MVCC layer above serves
+// lock-free searches whose cold-cache misses read through the file while
+// a writer mutates the overlay. Run under -race this is the regression
+// test for the unguarded overlay map (concurrent map read and map write).
+func TestConcurrentReadsDuringMutations(t *testing.T) {
+	f, _, _ := newStack(t, Options{})
+	const npages = 8
+	ids := make([]pagefile.PageID, npages)
+	for i := range ids {
+		ids[i] = mustAlloc(t, f)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			buf := make([]byte, testPageSize)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := ids[(i+r)%npages]
+				if err := f.ReadPage(id, buf); err != nil {
+					t.Errorf("ReadPage: %v", err)
+					return
+				}
+				if err := f.ReadPageSeq(id, buf); err != nil {
+					t.Errorf("ReadPageSeq: %v", err)
+					return
+				}
+				_ = f.OverlayPages()
+			}
+		}(r)
+	}
+
+	// One writer (mutations are externally excluded from each other, not
+	// from reads): transactions, auto-commits, and checkpoints. The
+	// Gosched forces reader/writer interleaving even on GOMAXPROCS=1,
+	// where the loop would otherwise run to completion before any reader
+	// is scheduled and the race would go unexercised.
+	for i := 0; i < 200; i++ {
+		runtime.Gosched()
+		f.BeginTx()
+		if err := f.WritePage(ids[i%npages], page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WritePage(ids[(i+1)%npages], page(byte(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.SealTx(); err != nil {
+			t.Fatal(err)
+		}
+		if i%17 == 0 {
+			if err := f.WritePage(ids[i%npages], page(0xEE)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%31 == 0 {
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	readers.Wait()
+}
+
+// TestFailedRewindBricksTheWAL: when the commit fsync fails AND the rewind
+// cannot be made durable either, the on-disk log may still hold the
+// rejected transaction — so the WAL must refuse every further mutation
+// instead of letting later commits stack on an unknown prefix.
+func TestFailedRewindBricksTheWAL(t *testing.T) {
+	f, _, log := newStack(t, Options{})
+	a := mustAlloc(t, f)
+	if err := f.WritePage(a, page(0x11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	log.FailNextSyncs(2) // commit fsync, then the rewind fsync
+	f.BeginTx()
+	if err := f.WritePage(a, page(0x22)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SealTx(); err == nil {
+		t.Fatalf("SealTx succeeded despite fsync failure")
+	}
+
+	if err := f.WritePage(a, page(0x33)); !errors.Is(err, ErrBroken) {
+		t.Fatalf("WritePage after failed rewind: %v, want ErrBroken", err)
+	}
+	f.BeginTx()
+	if err := f.SealTx(); !errors.Is(err, ErrBroken) {
+		t.Fatalf("SealTx after failed rewind: %v, want ErrBroken", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrBroken) {
+		t.Fatalf("Sync after failed rewind: %v, want ErrBroken", err)
+	}
+	// Reads still serve the in-memory state.
+	if got := readPage(t, f, a); !bytes.Equal(got, page(0x22)) {
+		t.Fatalf("read after brick: %x...", got[0])
+	}
+}
+
+// TestRewindIsDurable: a successful rewind fsyncs the truncation, so the
+// durable watermark lands exactly on the rewound position — a crash right
+// after the failed commit cannot resurrect it from OS-buffered pages.
+func TestRewindIsDurable(t *testing.T) {
+	f, inner, log := newStack(t, Options{})
+	a := mustAlloc(t, f)
+	if err := f.WritePage(a, page(0x11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	log.FailNextSyncs(1)
+	f.BeginTx()
+	if err := f.WritePage(a, page(0x22)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SealTx(); err == nil {
+		t.Fatalf("SealTx succeeded despite fsync failure")
+	}
+	if got, want := log.Synced(), int(log.Size()); got != want {
+		t.Fatalf("rewind not durable: synced %d, size %d", got, want)
+	}
+	// Caller contract: rewrite the pre-image, then crash. Recovery must
+	// see the repair, never the rejected commit.
+	if err := f.WritePage(a, page(0x11)); err != nil {
+		t.Fatal(err)
+	}
+	inner.Crash(40)
+	log.Crash(41)
+	f2, _ := reopen(t, inner, log, Options{})
+	if got := readPage(t, f2, a); !bytes.Equal(got, page(0x11)) {
+		t.Fatalf("rejected commit resurrected: page = %x...", got[0])
+	}
+}
+
+// TestRewoundCommitNotCountedByFsyncEvery: the rewind fsync resets the
+// group-commit batching counter, so a rewound commit cannot make the next
+// group fsync fire early (or late).
+func TestRewoundCommitNotCountedByFsyncEvery(t *testing.T) {
+	f, _, log := newStack(t, Options{FsyncEvery: 2})
+	a := mustAlloc(t, f)
+
+	seal := func(fill byte) error {
+		f.BeginTx()
+		if err := f.WritePage(a, page(fill)); err != nil {
+			t.Fatal(err)
+		}
+		return f.SealTx()
+	}
+	if err := seal(0x01); err != nil { // unsynced=1: below the batch
+		t.Fatal(err)
+	}
+	log.FailNextSyncs(1)
+	if err := seal(0x02); err == nil { // batch fsync fails, rewinds
+		t.Fatalf("SealTx succeeded despite fsync failure")
+	}
+	// The rewind fsync made everything durable; the counter must be back
+	// at zero, so this commit is the first of a fresh batch: no fsync.
+	syncedBefore := log.Synced()
+	if err := seal(0x03); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.Synced(); got != syncedBefore {
+		t.Fatalf("commit after rewind fsynced (synced %d -> %d): rewound commit still counted toward FsyncEvery", syncedBefore, got)
+	}
+	if log.Size() == int64(syncedBefore) {
+		t.Fatalf("commit after rewind appended nothing")
+	}
+}
+
+// TestFileLogShortReadDetected: a log file shorter than the tracked size
+// (external truncation, a lost append) must surface as an error from
+// Contents, not as a silently zero-padded buffer handed to recovery.
+func TestFileLogShortReadDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	log, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	data := bytes.Repeat([]byte{0x5A}, 1024)
+	if err := log.Append(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, 512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Contents(); err == nil {
+		t.Fatalf("Contents returned zero-padded buffer for a short log")
 	}
 }
