@@ -26,6 +26,7 @@ import (
 	"hybridtree/internal/dataset"
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
+	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 	"hybridtree/internal/wal"
 )
@@ -35,6 +36,11 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "version" || cmd == "-version" || cmd == "--version" {
+		commit, goVersion := obs.BuildVersion()
+		fmt.Printf("htree %s (%s)\n", commit, goVersion)
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
 		db       = fs.String("db", "", "index file path (required)")
@@ -100,7 +106,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: htree {build|knn|range|box|explain|stats|verify} -db FILE -dim D [flags]")
+	fmt.Fprintln(os.Stderr, "usage: htree {build|knn|range|box|explain|stats|verify|version} -db FILE -dim D [flags]")
 	os.Exit(2)
 }
 

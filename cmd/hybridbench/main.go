@@ -9,17 +9,27 @@
 //	hybridbench -fig 6cd              # one figure at the default scale
 //	hybridbench -all -paper           # everything at the paper's full scale
 //	hybridbench -table 1 -colhist 20000
+//
+// It is also the benchmark trajectory pipeline's CLI: feed it `go test
+// -bench` output and it emits a schema-versioned JSON snapshot and compares
+// it against a committed baseline, failing on gated regressions:
+//
+//	go test -bench . -count 5 ./internal/... | hybridbench -bench-input - \
+//	    -json BENCH.json -baseline results/BENCH_baseline.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"hybridtree/internal/bench"
 	"hybridtree/internal/core"
 	"hybridtree/internal/obs"
+	"hybridtree/internal/perf"
+	"hybridtree/internal/wal"
 )
 
 func main() {
@@ -35,31 +45,62 @@ func main() {
 		pageSize = flag.Int("page", 0, "page size in bytes (default 4096, as in the paper)")
 		seed     = flag.Int64("seed", 0, "random seed (default 1)")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
-		obsAddr  = flag.String("obs", "", "serve the introspection endpoint on this address (e.g. localhost:6060) for the duration of the run")
-		obsHold  = flag.Duration("obs-hold", 0, "keep the process (and the -obs endpoint) alive this long after the run finishes; -1s means forever")
+		version  = flag.Bool("version", false, "print the build version and exit")
+
+		benchIn  = flag.String("bench-input", "", "parse `go test -bench` output from this file (- for stdin), run the perf pipeline, and exit")
+		jsonOut  = flag.String("json", "", "with -bench-input: write the benchmark snapshot to this path")
+		basePath = flag.String("baseline", "", "with -bench-input: compare against this baseline snapshot; exit 1 on gated regressions")
+		minBench = flag.Int("min-bench", 0, "with -bench-input: require at least this many benchmarks in the snapshot")
+
+		obsAddr    = flag.String("obs", "", "serve the introspection endpoint on this address (e.g. localhost:6060) for the duration of the run")
+		obsHold    = flag.Duration("obs-hold", 0, "keep the process (and the -obs endpoint) alive this long after the run finishes; -1s means forever")
+		slowK      = flag.Int("slow-k", 16, "with -obs: retain this many slowest query traces in the flight recorder")
+		slowThresh = flag.Duration("slow-threshold", 0, "with -obs: admit only traces at least this slow (0 = consider every trace)")
 	)
 	flag.Parse()
 
+	if *version {
+		commit, goVersion := obs.BuildVersion()
+		fmt.Printf("hybridbench %s (%s)\n", commit, goVersion)
+		return
+	}
+	if *benchIn != "" {
+		if err := runPerfPipeline(*benchIn, *jsonOut, *basePath, *minBench); err != nil {
+			fmt.Fprintf(os.Stderr, "hybridbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *obsAddr != "" {
 		ring := obs.NewRing(256)
-		core.SetDefaultTracer(ring)
-		srv, addr, err := obs.Serve(*obsAddr, obs.Default(), ring)
+		slow := obs.NewSlowRecorder(*slowK, *slowThresh)
+		core.SetDefaultTracer(obs.Tee(ring, slow))
+		obs.RegisterBuildInfo(obs.Default())
+		wal.RegisterMetrics()
+		sampler := obs.StartRuntimeSampler(obs.Default(), 0)
+		srv, addr, err := obs.Serve(*obsAddr, obs.Default(), ring, slow)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hybridbench: obs endpoint: %v\n", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "hybridbench: metrics at http://%s/metrics, traces at http://%s/debug/queries\n", addr, addr)
-		if *obsHold != 0 {
-			defer func() {
+		defer func() {
+			sampler.Stop()
+			obs.Shutdown(srv, 5*time.Second)
+		}()
+		fmt.Fprintf(os.Stderr, "hybridbench: metrics at http://%s/metrics, slow queries at http://%s/debug/slow\n", addr, addr)
+		defer func() {
+			sampler.Sample()
+			dumpObs(os.Stderr, "hybridbench", slow)
+			if *obsHold != 0 {
 				if *obsHold < 0 {
 					fmt.Fprintf(os.Stderr, "hybridbench: holding obs endpoint open; ^C to exit\n")
 					select {}
 				}
 				fmt.Fprintf(os.Stderr, "hybridbench: holding obs endpoint open for %v\n", *obsHold)
 				time.Sleep(*obsHold)
-			}()
-		}
+			}
+		}()
 	}
 
 	opts := bench.Defaults()
@@ -176,5 +217,62 @@ func main() {
 		t, err := bench.AblationMmap(opts)
 		run("ablation mmap", err)
 		t.Print(os.Stdout)
+	}
+}
+
+// runPerfPipeline turns `go test -bench` output into a snapshot artifact and
+// (optionally) a pass/fail verdict against the committed baseline. With no
+// -baseline the same-run rules (leaf-scan layout ratio, tracer overhead,
+// mixed-workload retention, zero-alloc ceilings) still gate, so a first run
+// on a fresh branch is already meaningful.
+func runPerfPipeline(input, jsonOut, basePath string, minBench int) error {
+	var r io.Reader = os.Stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := perf.ParseGoBench(r)
+	if err != nil {
+		return err
+	}
+	snap := perf.NewSnapshot(benches)
+	if err := snap.Validate(minBench); err != nil {
+		return err
+	}
+	if jsonOut != "" {
+		if err := snap.WriteFile(jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hybridbench: wrote %d benchmark(s) to %s\n", len(snap.Benchmarks), jsonOut)
+	}
+	var base *perf.Snapshot
+	if basePath != "" {
+		if base, err = perf.ReadFile(basePath); err != nil {
+			return err
+		}
+	}
+	rep := perf.Compare(base, snap, perf.DefaultRules())
+	rep.Write(os.Stdout)
+	if rep.Failed() {
+		return fmt.Errorf("performance gate: %d gated finding(s)", len(rep.Gates()))
+	}
+	fmt.Fprintf(os.Stderr, "hybridbench: performance gates passed (%d findings, 0 gates)\n", len(rep.Findings))
+	return nil
+}
+
+// dumpObs prints the end-of-run observability summary: WAL and pagefile
+// durability counters, runtime self-telemetry, and the flight recorder's
+// slowest traces with per-stage attribution.
+func dumpObs(w io.Writer, prog string, slow *obs.SlowRecorder) {
+	fmt.Fprintf(w, "\n%s: --- metrics (wal_*, pagefile_*, go_*) ---\n", prog)
+	obs.Default().DumpText(w, "wal_", "pagefile_", "go_")
+	snap := slow.Snapshot()
+	fmt.Fprintf(w, "%s: --- flight recorder: %d slowest of %d observed queries ---\n", prog, len(snap), slow.Observed())
+	for _, tr := range snap {
+		fmt.Fprintln(w, tr.String())
 	}
 }

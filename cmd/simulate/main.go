@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hybridtree/internal/core"
 	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 	"hybridtree/internal/sim"
+	"hybridtree/internal/wal"
 )
 
 func main() {
@@ -36,7 +38,10 @@ func main() {
 		retry      = flag.Bool("retry", false, "layer the retry/breaker read path under the hybrid tree and periodically drop caches so queries recover injected faults in-path")
 		maxLeaked  = flag.Int("max-leaked", -1, "fail if any index leaks more than this many pages after the final flush (-1 disables; CI passes 0)")
 		verbose    = flag.Bool("v", false, "per-index reports")
+		version    = flag.Bool("version", false, "print the build version and exit")
 		obsAddr    = flag.String("obs", "", "serve the introspection endpoint on this address (e.g. localhost:6060) for the duration of the run")
+		slowK      = flag.Int("slow-k", 16, "with -obs: retain this many slowest query traces in the flight recorder")
+		slowThresh = flag.Duration("slow-threshold", 0, "with -obs: admit only traces at least this slow (0 = consider every trace)")
 
 		crash      = flag.Bool("crash", false, "run the WAL kill/reopen differential loop instead of the multi-index run")
 		kills      = flag.Int("kills", 200, "crash mode: number of kill points")
@@ -47,16 +52,39 @@ func main() {
 	)
 	flag.Parse()
 
+	if *version {
+		commit, goVersion := obs.BuildVersion()
+		fmt.Printf("simulate %s (%s)\n", commit, goVersion)
+		return
+	}
+
 	if *obsAddr != "" {
 		ring := obs.NewRing(256)
-		core.SetDefaultTracer(ring)
-		srv, addr, err := obs.Serve(*obsAddr, obs.Default(), ring)
+		slow := obs.NewSlowRecorder(*slowK, *slowThresh)
+		core.SetDefaultTracer(obs.Tee(ring, slow))
+		obs.RegisterBuildInfo(obs.Default())
+		wal.RegisterMetrics()
+		sampler := obs.StartRuntimeSampler(obs.Default(), 0)
+		srv, addr, err := obs.Serve(*obsAddr, obs.Default(), ring, slow)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simulate: obs endpoint: %v\n", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "simulate: metrics at http://%s/metrics, traces at http://%s/debug/queries\n", addr, addr)
+		defer func() {
+			sampler.Stop()
+			obs.Shutdown(srv, 5*time.Second)
+		}()
+		fmt.Fprintf(os.Stderr, "simulate: metrics at http://%s/metrics, slow queries at http://%s/debug/slow\n", addr, addr)
+		defer func() {
+			sampler.Sample()
+			fmt.Fprintf(os.Stderr, "\nsimulate: --- metrics (wal_*, pagefile_*, go_*) ---\n")
+			obs.Default().DumpText(os.Stderr, "wal_", "pagefile_", "go_")
+			snap := slow.Snapshot()
+			fmt.Fprintf(os.Stderr, "simulate: --- flight recorder: %d slowest of %d observed queries ---\n", len(snap), slow.Observed())
+			for _, tr := range snap {
+				fmt.Fprintln(os.Stderr, tr.String())
+			}
+		}()
 	}
 
 	profile, ok := sim.Profiles[*faults]

@@ -76,6 +76,30 @@ func TestMixedWorkloadGate(t *testing.T) {
 	}
 }
 
+// BenchmarkMixedReadOnly measures pure read throughput on the same fixture
+// and query set as BenchmarkMixed90R10W, with no concurrent writer. Its
+// read_qps is the denominator of the mixed-read-retention ratio gate in
+// internal/perf: mixed-MVCC read_qps must stay above 20% of this.
+func BenchmarkMixedReadOnly(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f, err := NewMixedFixture(20000, 8, 1800, 2048, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := RunBoxThroughput(f.MVCC, f.Queries, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.QPS, "read_qps")
+	}
+}
+
 // BenchmarkMixed90R10W measures the 90/10 mixed workload on the MVCC
 // snapshot wrapper vs the RWMutex baseline. Read p50/p99 under write load
 // is the number the MVCC tentpole targets; see EXPERIMENTS.md.

@@ -103,6 +103,7 @@ func (t *Tree) runBatch(n int, do func(c *core.QueryContext, i int) error) error
 		for i := 0; i < n; i++ {
 			begin := time.Now()
 			wait.Observe(int64(begin.Sub(submitted)))
+			c.SetQueueWait(begin.Sub(submitted))
 			err, panicked := runIsolated(c, i, do)
 			query.ObserveSince(begin)
 			if err != nil {
@@ -143,6 +144,7 @@ func (t *Tree) runBatch(n int, do func(c *core.QueryContext, i int) error) error
 				}
 				begin := time.Now()
 				wait.Observe(int64(begin.Sub(submitted)))
+				c.SetQueueWait(begin.Sub(submitted))
 				err, panicked := runIsolated(c, i, do)
 				query.ObserveSince(begin)
 				if err != nil {

@@ -166,6 +166,10 @@ func (t *Tree) beginQuery(qc *queryCtx, op int) (tr *obs.Trace, start time.Time)
 		tr = t.tracer.StartTrace(opNames[op])
 	}
 	qc.tr = tr
+	if qc.queueWait != 0 {
+		tr.AddQueueWait(int64(qc.queueWait))
+		qc.queueWait = 0
+	}
 	if t.metrics != nil || tr != nil {
 		start = time.Now()
 	}

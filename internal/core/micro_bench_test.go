@@ -6,6 +6,7 @@ import (
 
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
+	"hybridtree/internal/obs"
 	"hybridtree/internal/pagefile"
 )
 
@@ -234,6 +235,52 @@ func BenchmarkSearchKNNCtx16d(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
+		dst, err = tree.SearchKNNCtx(c, pts[i%len(pts)], 10, dist.L2(), dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Tracer-overhead pair: the same warm-context k-NN workload with no tracer
+// vs with a configured-but-nop tracer. The internal/perf tracer-overhead
+// ratio gate compares exactly these two in the same run (CI's replacement
+// for the bespoke OBS_OVERHEAD_GATE test), and the alloc gate pins both at
+// 0 allocs/op — tracing off must stay free.
+
+func BenchmarkSearchKNNTracerOff(b *testing.B) {
+	tree, pts := benchTree(b, 20000, 16)
+	tree.SetTracer(nil)
+	c := NewQueryContext()
+	var dst []Neighbor
+	// Warm pass: grow the context arena and result buffer to steady state so
+	// allocs/op measures the hot path, not one-time growth.
+	var err error
+	if dst, err = tree.SearchKNNCtx(c, pts[0], 10, dist.L2(), dst[:0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = tree.SearchKNNCtx(c, pts[i%len(pts)], 10, dist.L2(), dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchKNNTracerNop(b *testing.B) {
+	tree, pts := benchTree(b, 20000, 16)
+	tree.SetTracer(obs.Nop())
+	c := NewQueryContext()
+	var dst []Neighbor
+	var err error
+	if dst, err = tree.SearchKNNCtx(c, pts[0], 10, dist.L2(), dst[:0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		dst, err = tree.SearchKNNCtx(c, pts[i%len(pts)], 10, dist.L2(), dst[:0])
 		if err != nil {
 			b.Fatal(err)

@@ -27,6 +27,12 @@ type QueryContext struct {
 // use and is not tied to any particular tree.
 func NewQueryContext() *QueryContext { return &QueryContext{} }
 
+// SetQueueWait attributes d of executor queue wait (submission to worker
+// dequeue) to the next query run on this context. Batch executors call it
+// right before dispatching each operation; the next beginQuery folds it into
+// that operation's trace (when tracing is on) and clears it either way.
+func (c *QueryContext) SetQueueWait(d time.Duration) { c.qc.queueWait = d }
+
 // getCtx takes a context from the tree's pool (allocating on a cold pool).
 func (t *Tree) getCtx() *QueryContext {
 	if v := t.qcPool.Get(); v != nil {
@@ -94,9 +100,12 @@ type queryCtx struct {
 
 	// tally accumulates this query's traversal counts as plain ints
 	// (flushed to shared atomic counters once per query); tr is the
-	// query's trace, nil when tracing is off. See metrics.go.
-	tally tally
-	tr    *obs.Trace
+	// query's trace, nil when tracing is off. queueWait is executor queue
+	// time attributed by SetQueueWait before the query starts; beginQuery
+	// transfers it into the trace's stage set and clears it. See metrics.go.
+	tally     tally
+	tr        *obs.Trace
+	queueWait time.Duration
 
 	// Request-lifecycle bounds, set by arm and consulted by checkVisit once
 	// per node visit; all zero for a plain (Background, unbudgeted) query.

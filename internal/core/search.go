@@ -4,9 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"hybridtree/internal/dist"
 	"hybridtree/internal/geom"
+	"hybridtree/internal/obs"
+	"hybridtree/internal/pagefile"
 	"hybridtree/internal/pqueue"
 )
 
@@ -38,6 +41,19 @@ type Neighbor struct {
 // with kd decisions and prune verdicts charged to the span of the node
 // where they happened. With tracing off qc.tr is nil and every tr.* call is
 // an inlined nil check, which is what keeps TestSearchZeroAlloc at zero.
+
+// getqTraced reads a node for a query. When the query carries a live trace
+// it also attributes the fetch + decode wall time to the trace's page-read
+// stage; untraced queries take the bare getq call with no clock reads.
+func (t *Tree) getqTraced(tr *obs.Trace, id pagefile.PageID, epoch uint64) (*node, bool, error) {
+	if tr == nil {
+		return t.store.getq(id, epoch)
+	}
+	t0 := time.Now()
+	n, hit, err := t.store.getq(id, epoch)
+	tr.AddPageRead(int64(time.Since(t0)))
+	return n, hit, err
+}
 
 // SearchBox returns every entry whose vector lies inside q (boundaries
 // inclusive) — the feature-based bounding-box query of Section 3.5, and the
@@ -99,7 +115,7 @@ func (t *Tree) runBox(qc *queryCtx, q geom.Rect, dst []Entry) ([]Entry, error) {
 		pending = pending[:len(pending)-1]
 		qc.arena.copyOut(v.slot, qc.walk)
 		qc.arena.release(v.slot)
-		n, hit, err := t.store.getq(v.child, qc.ver.epoch)
+		n, hit, err := t.getqTraced(tr, v.child, qc.ver.epoch)
 		if err != nil {
 			qc.pending = pending[:0]
 			return dst, err
@@ -108,12 +124,19 @@ func (t *Tree) runBox(qc *queryCtx, q geom.Rect, dst []Entry) ([]Entry, error) {
 		if n.leaf {
 			qc.tally.scanned += n.count()
 			tr.Scan(span, n.count())
+			var scan0 time.Time
+			if tr != nil {
+				scan0 = time.Now()
+			}
 			// One linear pass over the slab collects the contained indices;
 			// the containment test matches geom.Rect.Contains exactly.
 			qc.hits = dist.FilterBoxSlab(q.Lo, q.Hi, n.vals, n.dim, qc.hits[:0])
 			for _, i := range qc.hits {
 				tr.Hit(span)
 				dst = append(dst, Entry{Point: n.point(int(i)), RID: n.rids[i]})
+			}
+			if tr != nil {
+				tr.AddCompute(int64(time.Since(scan0)))
 			}
 			continue
 		}
@@ -271,7 +294,7 @@ func (t *Tree) SearchRangeContext(ctx context.Context, c *QueryContext, q geom.P
 		pending = pending[:len(pending)-1]
 		qc.arena.copyOut(v.slot, qc.walk)
 		qc.arena.release(v.slot)
-		n, hit, err := t.store.getq(v.child, qc.ver.epoch)
+		n, hit, err := t.getqTraced(tr, v.child, qc.ver.epoch)
 		if err != nil {
 			qc.pending = pending[:0]
 			t.finishQuery(qc, opRange, start, len(dst)-base, err)
@@ -281,6 +304,10 @@ func (t *Tree) SearchRangeContext(ctx context.Context, c *QueryContext, q geom.P
 		if n.leaf {
 			qc.tally.scanned += n.count()
 			tr.Scan(span, n.count())
+			var scan0 time.Time
+			if tr != nil {
+				scan0 = time.Now()
+			}
 			switch {
 			case useSlab:
 				// Batch kernel: one linear pass over the slab with
@@ -309,6 +336,9 @@ func (t *Tree) SearchRangeContext(ctx context.Context, c *QueryContext, q geom.P
 						dst = append(dst, Neighbor{Entry: Entry{Point: n.point(i), RID: n.rids[i]}, Dist: d})
 					}
 				}
+			}
+			if tr != nil {
+				tr.AddCompute(int64(time.Since(scan0)))
 			}
 			continue
 		}
@@ -490,7 +520,7 @@ func (t *Tree) searchKNN(ctx context.Context, c *QueryContext, q geom.Point, k i
 		}
 		qc.arena.copyOut(v.slot, qc.walk)
 		qc.arena.release(v.slot)
-		n, hit, err := t.store.getq(v.child, qc.ver.epoch)
+		n, hit, err := t.getqTraced(tr, v.child, qc.ver.epoch)
 		if err != nil {
 			t.finishQuery(qc, opKNN, start, 0, err)
 			return dst, err
@@ -499,6 +529,10 @@ func (t *Tree) searchKNN(ctx context.Context, c *QueryContext, q geom.Point, k i
 		if n.leaf {
 			qc.tally.scanned += n.count()
 			tr.Scan(span, n.count())
+			var scan0 time.Time
+			if tr != nil {
+				scan0 = time.Now()
+			}
 			switch {
 			case useSlab:
 				// Batch kernel against the bound at leaf entry. A candidate
@@ -545,6 +579,9 @@ func (t *Tree) searchKNN(ctx context.Context, c *QueryContext, q geom.Point, k i
 						tr.Hit(span)
 					}
 				}
+			}
+			if tr != nil {
+				tr.AddCompute(int64(time.Since(scan0)))
 			}
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hybridtree/internal/els"
 	"hybridtree/internal/geom"
@@ -123,6 +124,12 @@ func (t *Tree) sealMutation(m mutationScope) error {
 		return nil
 	}
 	if err := t.writeMetaAs(pagefile.InvalidPage); err != nil {
+		return err
+	}
+	if tr := t.mutTrace; tr != nil {
+		t0 := time.Now()
+		err := t.tx.SealTx()
+		tr.AddWALFsync(int64(time.Since(t0)))
 		return err
 	}
 	return t.tx.SealTx()

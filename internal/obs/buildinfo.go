@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Build identity: every metrics scrape and every benchmark snapshot should
+// say which build it measured. ReadBuildInfo carries the VCS stamp when the
+// binary was built from a git checkout (`go build`/`go run` inside the
+// repo); binaries built without VCS metadata report "unknown".
+
+// BuildVersion returns the build's VCS commit (with a "+dirty" suffix for
+// a modified checkout) and the Go toolchain version that compiled it.
+func BuildVersion() (commit, goVersion string) {
+	commit, goVersion = "unknown", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return commit, goVersion
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		commit = rev
+	}
+	return commit, goVersion
+}
+
+// RegisterBuildInfo publishes the Prometheus-idiomatic constant gauge
+// build_info{commit="...",go_version="..."} = 1 in r, and returns the
+// commit and Go version for callers that also print them (-version flags,
+// benchmark snapshots).
+func RegisterBuildInfo(r *Registry) (commit, goVersion string) {
+	commit, goVersion = BuildVersion()
+	r.Gauge(fmt.Sprintf("build_info{commit=%q,go_version=%q}", commit, goVersion)).Set(1)
+	return commit, goVersion
+}

@@ -50,6 +50,22 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bucketIndex(u)].Add(1)
 }
 
+// ObserveN records the value v as n simultaneous observations — how the
+// runtime sampler folds a whole bucket of runtime/metrics deltas in with
+// three atomic adds instead of n Observe calls.
+func (h *Histogram) ObserveN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	h.count.Add(n)
+	h.sum.Add(u * n)
+	h.buckets[bucketIndex(u)].Add(n)
+}
+
 // ObserveSince records the elapsed nanoseconds since start.
 func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(int64(time.Since(start)))

@@ -115,6 +115,69 @@ func TestHistogramSnapshotAndQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the estimator's edge behavior: empty
+// histograms, out-of-range q clamping, and the q=0 / q=1 extremes of a
+// single-bucket population staying inside that bucket's range.
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Single observation: every quantile must land in its bucket [64,127].
+	var one Histogram
+	one.Observe(100)
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		got := one.Quantile(q)
+		if got < 64 || got > 127 {
+			t.Errorf("single-value Quantile(%v) = %v, outside [64,127]", q, got)
+		}
+	}
+	// q=0 interpolates to the bucket's low edge, q=1 to its upper bound.
+	if lo, hi := one.Quantile(0), one.Quantile(1); lo >= hi {
+		t.Errorf("Quantile(0)=%v not below Quantile(1)=%v within the bucket", lo, hi)
+	}
+
+	// Out-of-range q clamps rather than extrapolating.
+	if got, want := one.Quantile(-5), one.Quantile(0); got != want {
+		t.Errorf("Quantile(-5) = %v, want clamp to Quantile(0) = %v", got, want)
+	}
+	if got, want := one.Quantile(7), one.Quantile(1); got != want {
+		t.Errorf("Quantile(7) = %v, want clamp to Quantile(1) = %v", got, want)
+	}
+
+	// Two well-separated buckets: the median boundary is ordered correctly.
+	var two Histogram
+	two.Observe(10)
+	two.Observe(1 << 20)
+	if q25, q75 := two.Quantile(0.25), two.Quantile(0.75); q25 >= q75 {
+		t.Errorf("q25=%v >= q75=%v for bimodal data", q25, q75)
+	}
+}
+
+func TestHistogramObserveN(t *testing.T) {
+	var batched, looped Histogram
+	batched.ObserveN(100, 7)
+	batched.ObserveN(-3, 2) // negatives clamp to 0, like Observe
+	batched.ObserveN(5, 0)  // n=0 is a no-op
+	for i := 0; i < 7; i++ {
+		looped.Observe(100)
+	}
+	looped.Observe(-3)
+	looped.Observe(-3)
+	if batched.Count() != looped.Count() || batched.Sum() != looped.Sum() {
+		t.Fatalf("ObserveN count/sum %d/%d, loop %d/%d",
+			batched.Count(), batched.Sum(), looped.Count(), looped.Sum())
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if got, want := batched.buckets[i].Load(), looped.buckets[i].Load(); got != want {
+			t.Errorf("bucket %d: ObserveN %d, loop %d", i, got, want)
+		}
+	}
+}
+
 func TestHistogramConcurrentObserve(t *testing.T) {
 	var h Histogram
 	done := make(chan struct{})

@@ -30,10 +30,13 @@ func NewRing(capacity int) *Ring {
 // StartTrace implements Tracer: every operation is traced and delivered to
 // the ring when finished.
 func (r *Ring) StartTrace(op string) *Trace {
-	return &Trace{Op: op, Seq: r.seq.Add(1), Start: time.Now(), sink: r.collect}
+	return &Trace{Op: op, Seq: r.seq.Add(1), Start: time.Now(), sink: r.Collect}
 }
 
-func (r *Ring) collect(t *Trace) {
+// Collect implements Collector: it retains t, evicting the oldest retained
+// trace once the ring is full. It is the sink StartTrace attaches, exported
+// so a Tee can deliver one trace to several collectors.
+func (r *Ring) Collect(t *Trace) {
 	r.mu.Lock()
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, t)

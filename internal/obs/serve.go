@@ -1,26 +1,41 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
+	"strings"
+	"time"
 )
 
 // NewMux builds the introspection handler tree:
 //
+//	/healthz        readiness probe: "ok" once the mux is serving
 //	/metrics        Prometheus text exposition of reg
 //	/metrics.json   the same registry as JSON
 //	/debug/queries  recent finished traces from ring, newest first
 //	                (?n=LIMIT, ?op=FILTER)
+//	/debug/slow     the slow-query flight recorder: full span trees with
+//	                per-stage attribution, slowest first (?n=LIMIT,
+//	                ?op=FILTER)
 //	/debug/vars     expvar
 //	/debug/pprof/   the standard pprof handlers
 //
-// ring may be nil, in which case /debug/queries reports an empty list.
-func NewMux(reg *Registry, ring *Ring) *http.ServeMux {
+// ring and slow may be nil, in which case the corresponding debug endpoint
+// reports an empty list.
+func NewMux(reg *Registry, ring *Ring, slow *SlowRecorder) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		_, _ = io.WriteString(w, "ok\n")
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		reg.WritePrometheus(w)
@@ -34,27 +49,14 @@ func NewMux(reg *Registry, ring *Ring) *http.ServeMux {
 		if ring != nil {
 			traces = ring.Snapshot()
 		}
-		if op := r.URL.Query().Get("op"); op != "" {
-			kept := traces[:0]
-			for _, t := range traces {
-				if t.Op == op {
-					kept = append(kept, t)
-				}
-			}
-			traces = kept
+		writeTraces(w, r, traces)
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		var traces []*Trace
+		if slow != nil {
+			traces = slow.Snapshot()
 		}
-		if ns := r.URL.Query().Get("n"); ns != "" {
-			if n, err := strconv.Atoi(ns); err == nil && n >= 0 && n < len(traces) {
-				traces = traces[:n]
-			}
-		}
-		if traces == nil {
-			traces = []*Trace{}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(traces)
+		writeTraces(w, r, traces)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -65,16 +67,111 @@ func NewMux(reg *Registry, ring *Ring) *http.ServeMux {
 	return mux
 }
 
+// writeTraces applies the shared ?op= / ?n= filters and renders traces as
+// indented JSON.
+func writeTraces(w http.ResponseWriter, r *http.Request, traces []*Trace) {
+	if op := r.URL.Query().Get("op"); op != "" {
+		kept := traces[:0]
+		for _, t := range traces {
+			if t.Op == op {
+				kept = append(kept, t)
+			}
+		}
+		traces = kept
+	}
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		if n, err := strconv.Atoi(ns); err == nil && n >= 0 && n < len(traces) {
+			traces = traces[:n]
+		}
+	}
+	if traces == nil {
+		traces = []*Trace{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(traces)
+}
+
 // Serve starts the introspection endpoint on addr (e.g. "localhost:6060";
 // port 0 picks a free port) and serves it on a background goroutine. The
-// returned listener address reports the bound port; Close the server to
-// stop it.
-func Serve(addr string, reg *Registry, ring *Ring) (*http.Server, net.Addr, error) {
+// returned listener address reports the bound port; stop the server with
+// Shutdown (graceful) or Close.
+func Serve(addr string, reg *Registry, ring *Ring, slow *SlowRecorder) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: NewMux(reg, ring)}
+	srv := &http.Server{Handler: NewMux(reg, ring, slow)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr(), nil
+}
+
+// Shutdown gracefully stops a server started by Serve: it stops accepting
+// connections, waits up to timeout for in-flight scrapes to finish, then
+// force-closes whatever remains. Always returns with the server stopped.
+func Shutdown(srv *http.Server, timeout time.Duration) error {
+	if srv == nil {
+		return nil
+	}
+	if timeout <= 0 {
+		return srv.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+		return err
+	}
+	return nil
+}
+
+// DumpText writes every registered metric whose name starts with one of the
+// prefixes in Prometheus text form — the end-of-run dump the CLIs print so
+// durability and process-health cost is visible without standing up the
+// HTTP mux. No prefixes dumps everything.
+func (r *Registry) DumpText(w io.Writer, prefixes ...string) {
+	match := func(name string) bool {
+		if len(prefixes) == 0 {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	r.mu.RLock()
+	type line struct {
+		name string
+		text string
+	}
+	var lines []line
+	for name, c := range r.counters {
+		if match(name) {
+			lines = append(lines, line{name, fmt.Sprintf("%s %d", name, c.Value())})
+		}
+	}
+	for name, g := range r.gauges {
+		if match(name) {
+			lines = append(lines, line{name, fmt.Sprintf("%s %d", name, g.Value())})
+		}
+	}
+	for name, h := range r.histograms {
+		if match(name) {
+			s := h.Snapshot()
+			mean := float64(0)
+			if s.Count > 0 {
+				mean = float64(s.Sum) / float64(s.Count)
+			}
+			lines = append(lines, line{name, fmt.Sprintf("%s count=%d sum=%d mean=%.0f p50=%.0f p99=%.0f",
+				name, s.Count, s.Sum, mean, h.Quantile(0.5), h.Quantile(0.99))})
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(lines, func(a, b int) bool { return lines[a].name < lines[b].name })
+	for _, l := range lines {
+		fmt.Fprintln(w, l.text)
+	}
 }

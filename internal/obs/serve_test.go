@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestMuxEndpoints(t *testing.T) {
@@ -19,7 +20,11 @@ func TestMuxEndpoints(t *testing.T) {
 		tr.Visit(-1, 1, true, true)
 		tr.FinishSince(tr.Start)
 	}
-	srv := httptest.NewServer(NewMux(reg, ring))
+	slow := NewSlowRecorder(4, 0)
+	str := slow.StartTrace("box")
+	str.AddPageRead(100)
+	str.FinishSince(str.Start)
+	srv := httptest.NewServer(NewMux(reg, ring, slow))
 	defer srv.Close()
 
 	get := func(path string) string {
@@ -62,10 +67,19 @@ func TestMuxEndpoints(t *testing.T) {
 	if out := get("/debug/vars"); !strings.Contains(out, "memstats") {
 		t.Errorf("/debug/vars missing expvar output")
 	}
+	if out := get("/healthz"); strings.TrimSpace(out) != "ok" {
+		t.Errorf("/healthz = %q", out)
+	}
+	if err := json.Unmarshal([]byte(get("/debug/slow")), &traces); err != nil {
+		t.Fatalf("/debug/slow invalid: %v", err)
+	}
+	if len(traces) != 1 || traces[0].Stages == nil || traces[0].Stages.PageReads != 1 {
+		t.Fatalf("/debug/slow = %+v", traces)
+	}
 }
 
 func TestServe(t *testing.T) {
-	srv, addr, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	srv, addr, err := Serve("127.0.0.1:0", NewRegistry(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,5 +101,58 @@ func TestServe(t *testing.T) {
 	resp.Body.Close()
 	if strings.TrimSpace(string(b)) != "[]" {
 		t.Fatalf("/debug/queries with nil ring = %q", b)
+	}
+}
+
+func TestShutdownGraceful(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", NewRegistry(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := Shutdown(srv, 2*time.Second); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr.String() + "/healthz"); err == nil {
+		t.Fatal("server still accepting after Shutdown")
+	}
+	// Repeated and nil shutdowns are harmless.
+	if err := Shutdown(srv, time.Second); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if err := Shutdown(nil, time.Second); err != nil {
+		t.Fatalf("nil shutdown: %v", err)
+	}
+}
+
+func TestDumpText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("wal_fsyncs_total").Add(3)
+	reg.Counter("pagefile_syncs_total").Add(5)
+	reg.Counter("core_inserts_total").Add(9)
+	reg.Gauge("wal_something").Set(-2)
+	reg.Histogram("wal_fsync_ns").Observe(1000)
+
+	var sb strings.Builder
+	reg.DumpText(&sb, "wal_", "pagefile_")
+	out := sb.String()
+	for _, want := range []string{"wal_fsyncs_total 3", "pagefile_syncs_total 5", "wal_something -2", "wal_fsync_ns count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "core_inserts_total") {
+		t.Errorf("dump leaked unmatched prefix:\n%s", out)
+	}
+
+	// No prefixes = everything.
+	sb.Reset()
+	reg.DumpText(&sb)
+	if !strings.Contains(sb.String(), "core_inserts_total 9") {
+		t.Errorf("unfiltered dump missing counter:\n%s", sb.String())
 	}
 }

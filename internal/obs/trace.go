@@ -48,6 +48,23 @@ type Span struct {
 	Hits       int32  `json:"hits,omitempty"`        // leaf entries accepted
 }
 
+// StageSet is one operation's per-stage cost attribution: where the wall
+// time went, joined to the single query rather than smeared across the
+// registry's shared histograms. The stages mirror the pipeline a request
+// crosses: waiting in an executor queue, fetching and decoding pages,
+// fsyncing the WAL at commit, and the leaf-scan distance compute. Stage
+// recording is active only while the operation carries a live trace, so
+// the untraced hot path never pays for it.
+type StageSet struct {
+	QueueWaitNs int64 `json:"queue_wait_ns,omitempty"` // executor submit -> worker dequeue
+	PageReadNs  int64 `json:"page_read_ns,omitempty"`  // node fetch + decode (hits and misses)
+	PageReads   int32 `json:"page_reads,omitempty"`
+	WALFsyncNs  int64 `json:"wal_fsync_ns,omitempty"` // commit seal incl. the log fsync
+	WALFsyncs   int32 `json:"wal_fsyncs,omitempty"`
+	ComputeNs   int64 `json:"compute_ns,omitempty"` // leaf-scan distance kernels
+	ComputeOps  int32 `json:"compute_scans,omitempty"`
+}
+
 // Trace is the record of one operation: a span tree for queries, plus
 // mutation-side counters (splits, reinserts, whether the undo log rolled
 // the operation back). All methods are nil-receiver safe — a nil *Trace is
@@ -63,6 +80,7 @@ type Trace struct {
 	Splits     int32         `json:"splits,omitempty"`
 	Reinserts  int32         `json:"reinserts,omitempty"`
 	RolledBack bool          `json:"rolled_back,omitempty"`
+	Stages     *StageSet     `json:"stages,omitempty"`
 	Spans      []Span        `json:"spans,omitempty"`
 
 	sink func(*Trace) // receives the finished trace (ring buffer); may be nil
@@ -164,6 +182,58 @@ func (t *Trace) Hit(i int32) {
 	t.span(i).Hits++
 }
 
+// stages returns the trace's stage set, allocating it on first use. Traced
+// operations already allocate their span slice; one extra small struct per
+// traced query keeps the Trace zero value cheap for stage-free traces.
+func (t *Trace) stages() *StageSet {
+	if t.Stages == nil {
+		t.Stages = &StageSet{}
+	}
+	return t.Stages
+}
+
+// AddQueueWait attributes ns nanoseconds of executor queue wait (batch
+// submission to worker dequeue) to this operation.
+func (t *Trace) AddQueueWait(ns int64) {
+	if t == nil || ns <= 0 {
+		return
+	}
+	t.stages().QueueWaitNs += ns
+}
+
+// AddPageRead attributes one node fetch (cache hit or physical read +
+// decode) taking ns nanoseconds.
+func (t *Trace) AddPageRead(ns int64) {
+	if t == nil {
+		return
+	}
+	s := t.stages()
+	s.PageReadNs += ns
+	s.PageReads++
+}
+
+// AddWALFsync attributes one commit seal — the WAL append + fsync that
+// makes a mutation durable — taking ns nanoseconds.
+func (t *Trace) AddWALFsync(ns int64) {
+	if t == nil {
+		return
+	}
+	s := t.stages()
+	s.WALFsyncNs += ns
+	s.WALFsyncs++
+}
+
+// AddCompute attributes one leaf-scan distance/filter pass taking ns
+// nanoseconds.
+func (t *Trace) AddCompute(ns int64) {
+	if t == nil {
+		return
+	}
+	s := t.stages()
+	s.ComputeNs += ns
+	s.ComputeOps++
+}
+
 // CountSplit records one node split performed by a mutation.
 func (t *Trace) CountSplit() {
 	if t == nil {
@@ -231,6 +301,25 @@ func (t *Trace) String() string {
 		fmt.Fprintf(&sb, ", splits=%d reinserts=%d rolledback=%v", t.Splits, t.Reinserts, t.RolledBack)
 	}
 	sb.WriteByte('\n')
+	if s := t.Stages; s != nil {
+		sb.WriteString("  stages:")
+		if s.QueueWaitNs > 0 {
+			fmt.Fprintf(&sb, " queue_wait=%v", time.Duration(s.QueueWaitNs))
+		}
+		if s.PageReads > 0 {
+			fmt.Fprintf(&sb, " page_reads=%v/%d", time.Duration(s.PageReadNs), s.PageReads)
+		}
+		if s.WALFsyncs > 0 {
+			fmt.Fprintf(&sb, " wal_fsync=%v/%d", time.Duration(s.WALFsyncNs), s.WALFsyncs)
+		}
+		if s.ComputeOps > 0 {
+			fmt.Fprintf(&sb, " compute=%v/%d", time.Duration(s.ComputeNs), s.ComputeOps)
+		}
+		if other := int64(t.Elapsed) - s.QueueWaitNs - s.PageReadNs - s.WALFsyncNs - s.ComputeNs; other > 0 && t.Elapsed > 0 {
+			fmt.Fprintf(&sb, " other=%v", time.Duration(other))
+		}
+		sb.WriteByte('\n')
+	}
 	// Children of span i, rebuilt from the flat parent links. Spans are
 	// appended in visit order, so children lists stay in visit order too.
 	kids := make([][]int32, len(t.Spans))

@@ -13,6 +13,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"hybridtree/internal/obs"
 )
 
 // PageID identifies a page within a File.
@@ -59,8 +61,26 @@ func (s *Stats) AddAllocs(n uint64) { atomic.AddUint64(&s.Allocs, n) }
 // AddFrees atomically adds n frees.
 func (s *Stats) AddFrees(n uint64) { atomic.AddUint64(&s.Frees, n) }
 
-// AddSyncs atomically adds n syncs.
-func (s *Stats) AddSyncs(n uint64) { atomic.AddUint64(&s.Syncs, n) }
+// AddSyncs atomically adds n syncs. Syncs are the one Stats counter also
+// mirrored into the process-wide registry (pagefile_syncs_total): fsyncs are
+// the dominant durability cost, and the end-of-run observability dumps read
+// them from the registry alongside the wal_* metrics.
+func (s *Stats) AddSyncs(n uint64) {
+	atomic.AddUint64(&s.Syncs, n)
+	syncsCounter().Add(n)
+}
+
+// syncsCounter resolves the shared pagefile_syncs_total counter once; the
+// sync path already pays an fsync, so the extra atomic add is free.
+var (
+	syncsOnce sync.Once
+	syncsVal  *obs.Counter
+)
+
+func syncsCounter() *obs.Counter {
+	syncsOnce.Do(func() { syncsVal = obs.Default().Counter("pagefile_syncs_total") })
+	return syncsVal
+}
 
 // Snapshot returns an atomically-read copy of the counters, safe to take
 // while other goroutines are still counting.

@@ -27,10 +27,35 @@ type walMetrics struct {
 	recNs       *obs.Histogram
 }
 
+// MetricNames lists every wal_* metric the package registers, for callers
+// that print a durability-cost summary at end of run (simulate -obs,
+// hybridbench -obs). Kept in sync with metrics() below.
+var MetricNames = []string{
+	"wal_appends_total",
+	"wal_commits_total",
+	"wal_fsyncs_total",
+	"wal_fsync_ns",
+	"wal_grouped_ops_total",
+	"wal_checkpoints_total",
+	"wal_checkpoint_failures_total",
+	"wal_checkpoint_pages_total",
+	"wal_checkpoint_pages_skipped_total",
+	"wal_recoveries_total",
+	"wal_recover_records_replayed_total",
+	"wal_recover_records_discarded_total",
+	"wal_recover_torn_bytes_total",
+	"wal_recovery_ns",
+}
+
 var (
 	metricsOnce sync.Once
 	metricsVal  *walMetrics
 )
+
+// RegisterMetrics forces the wal_* instruments into the default registry
+// without opening a log, so end-of-run dumps show all fourteen names (as
+// zeros) even for runs that never touched the WAL.
+func RegisterMetrics() { metrics() }
 
 func metrics() *walMetrics {
 	metricsOnce.Do(func() {
