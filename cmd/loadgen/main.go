@@ -1,0 +1,98 @@
+// Command loadgen fires a seeded open-loop request storm at a running
+// htreed and checks the storm invariants: every response carries a mapped
+// status and an outcome header, outcome tallies sum to responses, and —
+// with -expect-shed — the storm actually drove the server past capacity
+// (some 503s) without drowning it (some 200s). Exit status is nonzero if
+// any invariant fails, so CI can gate on it directly.
+//
+//	loadgen -url http://127.0.0.1:8080 -dim 16 -n 2000 -rate 4000 \
+//	        -deadline-ms 50 -budget-pages 256 -expect-shed -scrape
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybridtree/internal/loadgen"
+)
+
+func main() {
+	var (
+		url        = flag.String("url", "http://127.0.0.1:8080", "htreed base URL")
+		seed       = flag.Int64("seed", 1, "storm seed (drives every request deterministically)")
+		dim        = flag.Int("dim", 0, "index dimensionality (required)")
+		n          = flag.Int("n", 1000, "requests to send")
+		rate       = flag.Float64("rate", 1000, "arrival rate, requests/second (open loop: arrivals never wait for completions)")
+		k          = flag.Int("k", 10, "k for k-NN requests")
+		radius     = flag.Float64("radius", 0.1, "radius for range requests")
+		knn        = flag.Float64("knn", 0.5, "k-NN weight in the mix")
+		box        = flag.Float64("box", 0.25, "box-query weight")
+		rng        = flag.Float64("range", 0.25, "range-query weight")
+		ins        = flag.Float64("insert", 0, "insert weight (server must run -writes)")
+		del        = flag.Float64("delete", 0, "delete weight (server must run -writes)")
+		deadlineMs = flag.Int("deadline-ms", 0, "X-Deadline-Ms header (0 = omit)")
+		budget     = flag.Int("budget-pages", 0, "X-Budget-Pages header (0 = omit)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "client-side per-request timeout")
+		expectShed = flag.Bool("expect-shed", false, "fail unless the storm produced both 503s and 200s")
+		scrape     = flag.Bool("scrape", false, "scrape /metrics.json after the storm and check the server-side tally invariant")
+	)
+	flag.Parse()
+
+	if *dim <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -dim is required")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     *url,
+		Seed:        *seed,
+		Dim:         *dim,
+		Requests:    *n,
+		Rate:        *rate,
+		Mix:         loadgen.Mix{KNN: *knn, Box: *box, Range: *rng, Insert: *ins, Delete: *del},
+		K:           *k,
+		Radius:      *radius,
+		DeadlineMs:  *deadlineMs,
+		BudgetPages: *budget,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	fmt.Println(rep)
+
+	failed := false
+	if err := rep.Check(*expectShed); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: invariant violated:", err)
+		failed = true
+	}
+	if *scrape {
+		requests, outcomes, err := loadgen.ScrapeServerTally(*url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: scrape:", err)
+			failed = true
+		} else {
+			var sum uint64
+			for _, v := range outcomes {
+				sum += v
+			}
+			fmt.Printf("server: requests=%d outcome-sum=%d %v\n", requests, sum, outcomes)
+			if sum != requests {
+				fmt.Fprintf(os.Stderr, "loadgen: server tally broken: outcomes sum to %d but server counted %d requests\n", sum, requests)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

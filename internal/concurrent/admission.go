@@ -150,6 +150,18 @@ func (e *Executor) SearchKNN(ctx context.Context, q geom.Point, k int, m dist.Me
 	return out, err
 }
 
+// SearchRange runs a budgeted range query through the executor.
+func (e *Executor) SearchRange(ctx context.Context, q geom.Point, radius float64, m dist.Metric, b core.Budget) ([]core.Neighbor, error) {
+	var out []core.Neighbor
+	err := e.Do(ctx, func(c *core.QueryContext) error {
+		ns, err := e.tree.tree.SearchRangeContext(ctx, c, q, radius, m, b, nil)
+		cloneNeighbors(ns)
+		out = ns
+		return err
+	})
+	return out, err
+}
+
 // SearchBox runs a budgeted box query through the executor.
 func (e *Executor) SearchBox(ctx context.Context, q geom.Rect, b core.Budget) ([]core.Entry, error) {
 	var out []core.Entry

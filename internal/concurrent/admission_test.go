@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -239,6 +240,89 @@ func TestExecutorBudgetDegradesThroughStack(t *testing.T) {
 	for i := 1; i < len(ns); i++ {
 		if ns[i].Dist < ns[i-1].Dist {
 			t.Fatalf("degraded results unsorted at %d", i)
+		}
+	}
+}
+
+// TestExecutorQueuedDeadlineShedVsClose saturates the queue with requests
+// whose deadlines expire while they wait, then races Close against the
+// drain. Whatever interleaving the scheduler picks, every submitted task
+// must resolve to exactly one verdict — success, its own query error,
+// ErrShed (queue full or expired-while-queued), or ErrClosed — and the
+// outcome counters must account for every admitted request. Run under
+// -race this also proves the submit-vs-close and drain paths share no
+// unsynchronized state.
+func TestExecutorQueuedDeadlineShedVsClose(t *testing.T) {
+	tree, pts := buildTree(t, 4, 500, 512)
+	defer tree.Close()
+
+	const rounds = 8
+	const submitters = 32
+	for round := 0; round < rounds; round++ {
+		e := NewExecutor(tree, ExecutorConfig{Workers: 1, QueueDepth: 2})
+
+		// Wedge the worker so the queue saturates and queued deadlines
+		// expire behind it.
+		block := make(chan struct{})
+		started := make(chan struct{})
+		var wedged sync.WaitGroup
+		wedged.Add(1)
+		go func() {
+			defer wedged.Done()
+			_ = e.Do(context.Background(), func(c *core.QueryContext) error {
+				close(started)
+				<-block
+				return nil
+			})
+		}()
+		<-started
+
+		verdicts := make([]error, submitters)
+		delivered := make([]int32, submitters)
+		var wg sync.WaitGroup
+		for i := 0; i < submitters; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i%3)*time.Millisecond)
+				defer cancel()
+				_, err := e.SearchKNN(ctx, pts[i%len(pts)], 3, dist.L2(), core.Budget{})
+				verdicts[i] = err
+				atomic.AddInt32(&delivered[i], 1)
+			}(i)
+		}
+
+		// Let the deadlines lapse while the queue is saturated, then race
+		// the unwedge against Close.
+		time.Sleep(5 * time.Millisecond)
+		var closing sync.WaitGroup
+		closing.Add(1)
+		go func() {
+			defer closing.Done()
+			e.Close()
+		}()
+		close(block)
+		wg.Wait()
+		closing.Wait()
+		wedged.Wait()
+
+		for i := 0; i < submitters; i++ {
+			if n := atomic.LoadInt32(&delivered[i]); n != 1 {
+				t.Fatalf("round %d: task %d delivered %d verdicts, want exactly 1", round, i, n)
+			}
+			err := verdicts[i]
+			switch {
+			case err == nil:
+			case errors.Is(err, ErrShed):
+			case errors.Is(err, ErrClosed):
+			case errors.Is(err, context.DeadlineExceeded):
+			default:
+				t.Fatalf("round %d: task %d: unexpected verdict %v", round, i, err)
+			}
+		}
+		// Post-close: admission stays shut, no hangs.
+		if err := e.Do(context.Background(), func(c *core.QueryContext) error { return nil }); !errors.Is(err, ErrClosed) {
+			t.Fatalf("round %d: post-close Do: err = %v, want ErrClosed", round, err)
 		}
 	}
 }

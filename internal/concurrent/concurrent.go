@@ -214,6 +214,25 @@ func (t *Tree) CheckInvariants() error {
 	return t.tree.CheckInvariantsSnapshot()
 }
 
+// Flush checkpoints the tree under the writer lock: leaked pages are
+// reclaimed, dirty state reaches the page file, and — when a write-ahead
+// log sits underneath — the overlay is flushed and the log truncated. It is
+// the final step of a graceful drain, after admission has stopped and every
+// in-flight writer has drained.
+func (t *Tree) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tree.Flush()
+}
+
+// LeakedPages reports pages whose release failed (see core.Tree.LeakedPages)
+// under the writer lock, so a drain report reads a quiesced value.
+func (t *Tree) LeakedPages() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tree.LeakedPages()
+}
+
 // Close flushes metadata.
 func (t *Tree) Close() error {
 	t.mu.Lock()

@@ -38,7 +38,12 @@ type GroupCommitter struct {
 	maxBatch int
 	wg       sync.WaitGroup
 
-	closeOnce sync.Once
+	// mu guards closed and serializes every channel send against Close, so
+	// a submit arriving while Close runs resolves to ErrClosed instead of a
+	// send-on-closed-channel panic. A send that blocks on a full queue holds
+	// mu, which only delays Close — the worker drains the queue regardless.
+	mu     sync.Mutex
+	closed bool
 
 	batchSizes *obs.Histogram
 	batches    *obs.Counter
@@ -64,25 +69,46 @@ func NewGroupCommitter(t *Tree, maxBatch int) *GroupCommitter {
 }
 
 // Insert queues the insert and blocks until its group commits (or fails).
+// After Close it returns ErrClosed.
 func (g *GroupCommitter) Insert(p geom.Point, rid core.RecordID) error {
 	op := &groupOp{p: p, rid: rid, done: make(chan groupResult, 1)}
-	g.ch <- op
+	if err := g.submit(op); err != nil {
+		return err
+	}
 	return (<-op.done).err
 }
 
 // Delete queues the delete and blocks until its group commits (or fails).
+// After Close it returns ErrClosed.
 func (g *GroupCommitter) Delete(p geom.Point, rid core.RecordID) (bool, error) {
 	op := &groupOp{delete: true, p: p, rid: rid, done: make(chan groupResult, 1)}
-	g.ch <- op
+	if err := g.submit(op); err != nil {
+		return false, err
+	}
 	res := <-op.done
 	return res.found, res.err
 }
 
-// Close drains queued operations and stops the worker. Operations
-// submitted after Close panic (send on closed channel), matching the
-// usual lifecycle contract: stop producers first.
+func (g *GroupCommitter) submit(op *groupOp) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return ErrClosed
+	}
+	g.ch <- op
+	return nil
+}
+
+// Close stops admission (subsequent Insert/Delete calls return ErrClosed),
+// lets the worker drain and commit every queued operation — each waiting
+// caller still receives its verdict — and waits for the worker to exit.
 func (g *GroupCommitter) Close() {
-	g.closeOnce.Do(func() { close(g.ch) })
+	g.mu.Lock()
+	if !g.closed {
+		g.closed = true
+		close(g.ch) // safe: submits hold g.mu, so no send can race the close
+	}
+	g.mu.Unlock()
 	g.wg.Wait()
 }
 

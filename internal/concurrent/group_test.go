@@ -1,6 +1,7 @@
 package concurrent
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -275,6 +276,65 @@ func TestColdCacheReadersRaceGroupCommit(t *testing.T) {
 		t.Fatalf("size %d, want %d", got, seeded+extra)
 	}
 	if err := cold.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestGroupCommitCloseDrainsInFlight is the shutdown-ordering hazard test:
+// many writers submit while Close races them. Every operation must resolve
+// to exactly one verdict — committed (and then durable/visible) or
+// ErrClosed — and nothing may panic with send-on-closed-channel, which is
+// what the pre-fix unguarded `g.ch <- op` did when a submit lost the race.
+func TestGroupCommitCloseDrainsInFlight(t *testing.T) {
+	const dim, pageSize = 2, 512
+	const writers = 64
+	tree, _, _, _ := newWALTree(t, dim, pageSize)
+
+	g := NewGroupCommitter(tree, 8)
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]geom.Point, writers)
+	for i := range pts {
+		pts[i] = geom.Point{float32(rng.Float64()), float32(rng.Float64())}
+	}
+
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			errs[i] = g.Insert(pts[i], core.RecordID(i+1))
+		}(i)
+	}
+	close(start)
+	// Close concurrently with the submit burst: some operations land before
+	// the channel closes, the rest must get ErrClosed — never a panic.
+	g.Close()
+	wg.Wait()
+
+	committed := 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			committed++
+		case errors.Is(err, ErrClosed):
+		default:
+			t.Fatalf("writer %d: unexpected verdict %v", i, err)
+		}
+	}
+	if got := tree.Size(); got != committed {
+		t.Fatalf("tree size %d but %d inserts acknowledged", got, committed)
+	}
+	// Post-close submits keep resolving (no hang, no panic).
+	if err := g.Insert(pts[0], core.RecordID(9999)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Insert: err = %v, want ErrClosed", err)
+	}
+	if _, err := g.Delete(pts[0], core.RecordID(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Delete: err = %v, want ErrClosed", err)
+	}
+	if err := tree.CheckInvariants(); err != nil {
 		t.Fatalf("invariants: %v", err)
 	}
 }

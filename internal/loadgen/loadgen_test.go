@@ -1,0 +1,93 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGenRequestDeterministic: the schedule is a pure function of (seed,
+// index) — reruns and goroutine interleavings cannot change it.
+func TestGenRequestDeterministic(t *testing.T) {
+	cfg := Config{Seed: 99, Dim: 5, Mix: Mix{KNN: 1, Box: 1, Range: 1, Insert: 1, Delete: 1}}.withDefaults()
+	for i := 0; i < 200; i++ {
+		a, b := genRequest(cfg, i), genRequest(cfg, i)
+		if a.path != b.path || !bytes.Equal(a.body, b.body) {
+			t.Fatalf("request %d not deterministic: %s %s vs %s %s", i, a.path, a.body, b.path, b.body)
+		}
+	}
+	// A different seed produces a different storm.
+	other := cfg
+	other.Seed = 100
+	same := 0
+	for i := 0; i < 200; i++ {
+		if bytes.Equal(genRequest(cfg, i).body, genRequest(other, i).body) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("seed does not influence the schedule")
+	}
+}
+
+// TestReportCheck exercises each invariant branch.
+func TestReportCheck(t *testing.T) {
+	ok := &Report{Sent: 3, Status: map[int]int{200: 2, 503: 1},
+		Outcomes: map[string]int{"ok": 2, "shed": 1}}
+	if err := ok.Check(true); err != nil {
+		t.Fatalf("clean report rejected: %v", err)
+	}
+	bad := []*Report{
+		{Sent: 1, Status: map[int]int{418: 1}, Outcomes: map[string]int{"ok": 1}},   // unmapped status
+		{Sent: 1, Status: map[int]int{200: 1}, MissingOutcome: 1},                   // missing header
+		{Sent: 2, Status: map[int]int{200: 2}, Outcomes: map[string]int{"ok": 1}},   // tally mismatch
+		{Sent: 5, Status: map[int]int{200: 2}, Outcomes: map[string]int{"ok": 2}},   // sent != resolved
+		{Sent: 2, Status: map[int]int{200: 2}, Outcomes: map[string]int{"ok": 2}},   // no shed under expectShed
+		{Sent: 2, Status: map[int]int{503: 2}, Outcomes: map[string]int{"shed": 2}}, // drowned under expectShed
+	}
+	for i, r := range bad {
+		if err := r.Check(true); err == nil {
+			t.Errorf("bad report %d passed Check", i)
+		}
+	}
+}
+
+// TestRunOpenLoop fires a small storm at a stub server and checks the
+// tallies close: sent == responses, outcome header counted per response.
+func TestRunOpenLoop(t *testing.T) {
+	var hits atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("X-Htree-Outcome", "ok")
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer stub.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  stub.URL,
+		Seed:     1,
+		Dim:      3,
+		Requests: 60,
+		Rate:     5000,
+		Mix:      Mix{KNN: 1, Box: 1, Range: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 60 || rep.Responses() != 60 || rep.TransportErrors != 0 {
+		t.Fatalf("sent=%d responses=%d transport=%d, want 60/60/0",
+			rep.Sent, rep.Responses(), rep.TransportErrors)
+	}
+	if got := hits.Load(); got != 60 {
+		t.Fatalf("stub saw %d requests, want 60", got)
+	}
+	if rep.Outcomes["ok"] != 60 {
+		t.Fatalf("outcomes %v, want ok=60", rep.Outcomes)
+	}
+	if err := rep.Check(false); err != nil {
+		t.Fatal(err)
+	}
+}

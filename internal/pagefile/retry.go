@@ -3,6 +3,7 @@ package pagefile
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -30,6 +31,15 @@ type RetryPolicy struct {
 	// is usually wasted work; turn it on when the stack below injects
 	// in-flight corruption (ChaosFile.ReadCorrupt under a ChecksumFile).
 	RetryCorrupt bool
+	// Jitter decorrelates the backoff ladder across a fleet. Plain
+	// exponential backoff synchronizes: every client that failed together
+	// retries together, hammering the recovering device in lockstep waves.
+	// With Jitter on, each retry sleeps uniform(Backoff, 3×previous-sleep)
+	// capped at MaxBackoff — the "decorrelated jitter" scheme — so retry
+	// times spread out while still backing off on average. The random
+	// source is injectable (SetRand) and the scheme is deterministic given
+	// the source, so tests pin exact sleep schedules.
+	Jitter bool
 	// TripAfter is the number of consecutive exhausted reads that opens the
 	// circuit breaker (0 disables the breaker entirely).
 	TripAfter int
@@ -56,11 +66,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // process (0 closed, 1 open, 2 half-open) — fleet deployments run one
 // data file per process, which is the case the gauge is for.
 type retryMetrics struct {
-	retries   *obs.Counter // individual re-attempts issued
-	recovered *obs.Counter // reads that failed at least once, then succeeded
-	exhausted *obs.Counter // reads that failed after every attempt
-	trips     *obs.Counter // breaker closed->open transitions
-	fastFails *obs.Counter // reads shed by an open breaker
+	retries   *obs.Counter   // individual re-attempts issued
+	recovered *obs.Counter   // reads that failed at least once, then succeeded
+	exhausted *obs.Counter   // reads that failed after every attempt
+	trips     *obs.Counter   // breaker closed->open transitions
+	fastFails *obs.Counter   // reads shed by an open breaker
+	backoff   *obs.Histogram // per-retry backoff sleeps, nanoseconds
 	state     *obs.Gauge
 }
 
@@ -78,6 +89,7 @@ func retryObs() *retryMetrics {
 			exhausted: r.Counter("pagefile_read_retry_exhausted_total"),
 			trips:     r.Counter("pagefile_breaker_trips_total"),
 			fastFails: r.Counter("pagefile_breaker_fast_fails_total"),
+			backoff:   r.Histogram("pagefile_read_backoff_ns"),
 			state:     r.Gauge("pagefile_breaker_state"),
 		}
 	})
@@ -105,14 +117,19 @@ type RetryFile struct {
 	// never wait on a real clock.
 	sleep func(time.Duration)
 	now   func() time.Time
-	br    breaker
-	m     *retryMetrics
+	// rand draws the jitter fraction in [0, 1); mutex-guarded because reads
+	// run concurrently. Injectable (SetRand) so jitter schedules are
+	// deterministic under test.
+	randMu sync.Mutex
+	rand   func() float64
+	br     breaker
+	m      *retryMetrics
 }
 
 // NewRetryFile wraps inner with the given policy.
 func NewRetryFile(inner File, p RetryPolicy) *RetryFile {
 	p = p.withDefaults()
-	f := &RetryFile{File: inner, policy: p, sleep: time.Sleep, now: time.Now, m: retryObs()}
+	f := &RetryFile{File: inner, policy: p, sleep: time.Sleep, now: time.Now, rand: rand.Float64, m: retryObs()}
 	f.br.tripAfter = p.TripAfter
 	f.br.probeAfter = p.ProbeAfter
 	return f
@@ -127,6 +144,20 @@ func (f *RetryFile) SetClock(now func() time.Time, sleep func(time.Duration)) {
 	if sleep != nil {
 		f.sleep = sleep
 	}
+}
+
+// SetRand overrides the jitter source with fn (which must return values in
+// [0, 1)); pass a seeded generator's Float64 for a deterministic schedule.
+func (f *RetryFile) SetRand(fn func() float64) {
+	if fn != nil {
+		f.rand = fn
+	}
+}
+
+func (f *RetryFile) jitterFrac() float64 {
+	f.randMu.Lock()
+	defer f.randMu.Unlock()
+	return f.rand()
 }
 
 // BreakerState reports "closed", "open" or "half-open".
@@ -163,16 +194,36 @@ func (f *RetryFile) read(op func() error) error {
 		}
 		f.m.retries.Inc()
 		if backoff > 0 {
+			f.m.backoff.Observe(int64(backoff))
 			f.sleep(backoff)
-			backoff *= 2
-			if backoff > f.policy.MaxBackoff {
-				backoff = f.policy.MaxBackoff
-			}
+			backoff = f.nextBackoff(backoff)
 		}
 	}
 	f.m.exhausted.Inc()
 	f.br.fail(f.now(), f.m)
 	return err
+}
+
+// nextBackoff advances the ladder after a sleep of prev. Without jitter it
+// is the classic doubling capped at MaxBackoff. With jitter it draws the
+// next sleep from uniform(Backoff, 3×prev) — decorrelated jitter: the upper
+// bound still grows geometrically from the realized sleeps, but two files
+// that failed in the same instant immediately diverge, so fleet-wide
+// retries cannot synchronize into waves.
+func (f *RetryFile) nextBackoff(prev time.Duration) time.Duration {
+	next := prev * 2
+	if f.policy.Jitter {
+		base := f.policy.Backoff
+		span := 3*prev - base
+		if span <= 0 {
+			span = base
+		}
+		next = base + time.Duration(f.jitterFrac()*float64(span))
+	}
+	if next > f.policy.MaxBackoff {
+		next = f.policy.MaxBackoff
+	}
+	return next
 }
 
 // retryable classifies one failed attempt: transient faults are worth

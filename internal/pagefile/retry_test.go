@@ -263,3 +263,79 @@ func TestRetryPassesWritesThrough(t *testing.T) {
 		t.Fatalf("write path slept %v, want 0 (no retry on writes)", fx.slept)
 	}
 }
+
+// TestRetryJitterDecorrelatesBackoff pins the decorrelated-jitter schedule:
+// with an injected rand source, each retry sleeps Backoff + frac×span where
+// span = 3×previous-sleep − Backoff, capped at MaxBackoff — and the same
+// source yields the same schedule, so jitter stays deterministic under test.
+func TestRetryJitterDecorrelatesBackoff(t *testing.T) {
+	run := func(fracs []float64) []time.Duration {
+		fx := newRetryFixture(t, RetryPolicy{
+			MaxAttempts: 5, Backoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond, Jitter: true})
+		var sleeps []time.Duration
+		fx.rf.SetClock(nil, func(d time.Duration) { sleeps = append(sleeps, d); fx.now = fx.now.Add(d) })
+		i := 0
+		fx.rf.SetRand(func() float64 { v := fracs[i%len(fracs)]; i++; return v })
+		fx.fault.SetRemaining(0) // every attempt fails
+		if err := fx.rf.ReadPage(fx.id, fx.buf); !errors.Is(err, ErrInjected) {
+			t.Fatalf("read: err = %v, want ErrInjected", err)
+		}
+		return sleeps
+	}
+
+	// frac = 0.5 exactly: sleep_1 = 1ms (the base), then
+	// sleep_{n+1} = 1ms + 0.5×(3×sleep_n − 1ms).
+	got := run([]float64{0.5})
+	want := []time.Duration{
+		1 * time.Millisecond,
+		2 * time.Millisecond,    // 1 + 0.5*(3-1)
+		3500 * time.Microsecond, // 1 + 0.5*(6-1)
+		5750 * time.Microsecond, // 1 + 0.5*(10.5-1)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sleeps = %v, want %d entries", got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (schedule %v)", i, got[i], want[i], got)
+		}
+	}
+
+	// Determinism: the same source gives bit-identical schedules.
+	a, b := run([]float64{0.17, 0.93, 0.41}), run([]float64{0.17, 0.93, 0.41})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+	// frac → 1 must stay within the cap.
+	for i, d := range run([]float64{0.999999}) {
+		if d > 10*time.Millisecond {
+			t.Fatalf("sleep %d = %v exceeds MaxBackoff", i, d)
+		}
+	}
+}
+
+// TestRetryJitterOffKeepsDoublingLadder: the zero-value policy keeps the
+// exact pre-jitter behavior, so existing deterministic drivers (the
+// simulator's pinned digests) are unaffected.
+func TestRetryJitterOffKeepsDoublingLadder(t *testing.T) {
+	fx := newRetryFixture(t, RetryPolicy{
+		MaxAttempts: 4, Backoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond})
+	var sleeps []time.Duration
+	fx.rf.SetClock(nil, func(d time.Duration) { sleeps = append(sleeps, d); fx.now = fx.now.Add(d) })
+	fx.rf.SetRand(func() float64 { t.Fatal("jitter source consulted with Jitter off"); return 0 })
+	fx.fault.SetRemaining(0)
+	if err := fx.rf.ReadPage(fx.id, fx.buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read: err = %v, want ErrInjected", err)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	if len(sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Fatalf("sleeps = %v, want %v", sleeps, want)
+		}
+	}
+}

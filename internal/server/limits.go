@@ -1,0 +1,55 @@
+package server
+
+import (
+	"net"
+	"sync"
+
+	"hybridtree/internal/obs"
+)
+
+// limitListener caps concurrently open accepted connections at n: Accept
+// blocks once n connections are live, so excess clients wait in the
+// kernel's accept backlog (and eventually time out there) instead of each
+// costing this process a goroutine, a file descriptor and a read buffer.
+// This is the outermost rung of the overload ladder — cheaper than
+// admission control because rejected work never even parses HTTP.
+//
+// The semaphore is released when the connection closes, whichever side
+// closes it; Close is idempotent per connection.
+func limitListener(ln net.Listener, n int, held *obs.Gauge) net.Listener {
+	return &limitedListener{Listener: ln, sem: make(chan struct{}, n), held: held}
+}
+
+type limitedListener struct {
+	net.Listener
+	sem  chan struct{}
+	held *obs.Gauge
+}
+
+func (l *limitedListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	l.held.Add(1)
+	return &limitedConn{Conn: c, release: l.release}, nil
+}
+
+func (l *limitedListener) release() {
+	l.held.Add(-1)
+	<-l.sem
+}
+
+type limitedConn struct {
+	net.Conn
+	once    sync.Once
+	release func()
+}
+
+func (c *limitedConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(c.release)
+	return err
+}
